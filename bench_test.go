@@ -1,0 +1,312 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment at Quick
+// scale and reports the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation sweep. cmd/experiments prints the full
+// rows/series at report scale.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/perfmodel"
+)
+
+var (
+	benchModelOnce sync.Once
+	benchModel     *perfmodel.Model
+	benchModelErr  error
+)
+
+func benchSharedModel(b *testing.B) *perfmodel.Model {
+	b.Helper()
+	benchModelOnce.Do(func() {
+		benchModel, benchModelErr = TrainModel(99)
+	})
+	if benchModelErr != nil {
+		b.Fatalf("model training: %v", benchModelErr)
+	}
+	return benchModel
+}
+
+// BenchmarkTable1DeviceSpecs regenerates the Table 1 device comparison.
+func BenchmarkTable1DeviceSpecs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1()
+		if len(r.Rows) != 5 {
+			b.Fatal("table 1 incomplete")
+		}
+	}
+}
+
+// BenchmarkTable2MigrationOverhead regenerates Table 2 (migration
+// overhead with vs without memory interference) and reports BASIL's
+// single-node interference-attributable share.
+func BenchmarkTable2MigrationOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Scheme == "BASIL" && row.Environment == "Single node" {
+				b.ReportMetric(row.Overhead*100, "basil_overhead_%")
+			}
+		}
+	}
+}
+
+// BenchmarkTable3RegressionTree regenerates the Table 3 / Fig. 6 tree
+// construction example.
+func BenchmarkTable3RegressionTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.RootName != "free_space_ratio" {
+			b.Fatalf("root split = %s", r.RootName)
+		}
+	}
+}
+
+// BenchmarkFig4MemoryTrafficEffect regenerates Fig. 4 and reports the
+// latency/intensity correlation.
+func BenchmarkFig4MemoryTrafficEffect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Correlation, "corr")
+	}
+}
+
+// BenchmarkFig5DeviceCharacteristics regenerates the Fig. 5 sweeps and
+// reports the HDD randomness slope (p100/p0).
+func BenchmarkFig5DeviceCharacteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5(experiments.Quick())
+		if r.HDDByRand[0] > 0 {
+			b.ReportMetric(r.HDDByRand[len(r.HDDByRand)-1]/r.HDDByRand[0], "hdd_rand_slope")
+		}
+	}
+}
+
+// BenchmarkFig7ModelVerification regenerates Fig. 7(a) and reports model
+// error versus the quiet curve (the paper reports ~5%).
+func BenchmarkFig7ModelVerification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(1.0, experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ModelErr*100, "model_err_%")
+		b.ReportMetric(r.ContentionGap*100, "contention_gap_%")
+	}
+}
+
+// BenchmarkFig7LowFreeSpace regenerates Fig. 7(b) (10% free space).
+func BenchmarkFig7LowFreeSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(0.1, experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ModelErr*100, "model_err_%")
+	}
+}
+
+// BenchmarkFig12BCAManagement regenerates Fig. 12 and reports BCA's
+// latency improvement over BASIL on the mcf single-node mix.
+func BenchmarkFig12BCAManagement(b *testing.B) {
+	m := benchSharedModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12(experiments.Quick(), m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Mixes[0].BCAImprovement["BASIL"]*100, "bca_vs_basil_%")
+	}
+}
+
+// BenchmarkFig13LazyMigration regenerates Fig. 13 and reports the lazy
+// scheme's migration time normalized to BASIL (single node).
+func BenchmarkFig13LazyMigration(b *testing.B) {
+	m := benchSharedModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13(experiments.Quick(), m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Nodes == 1 && row.Scheme == "BCA+Lazy" {
+				b.ReportMetric(row.Normalized, "lazy_vs_basil")
+			}
+		}
+	}
+}
+
+// BenchmarkFig14SchedulingPolicies regenerates Fig. 14 and reports the
+// average speedups of Policy One, Policy Two, and both.
+func BenchmarkFig14SchedulingPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig14(experiments.Quick())
+		b.ReportMetric(r.AvgP1, "p1_speedup")
+		b.ReportMetric(r.AvgP2, "p2_speedup")
+		b.ReportMetric(r.AvgBoth, "both_speedup")
+	}
+}
+
+// BenchmarkFig15CacheBypass regenerates Fig. 15 and reports the final
+// hit ratios with and without bypassing.
+func BenchmarkFig15CacheBypass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig15(experiments.Quick())
+		b.ReportMetric(r.FinalLRFU()*100, "lrfu_hit_%")
+		b.ReportMetric(r.FinalBypass()*100, "bypass_hit_%")
+	}
+}
+
+// BenchmarkFig16ArchCombined regenerates Fig. 16 and reports the combined
+// architectural speedup.
+func BenchmarkFig16ArchCombined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig16(experiments.Quick())
+		b.ReportMetric(r.Avg, "avg_speedup")
+		b.ReportMetric(r.Max, "max_speedup")
+	}
+}
+
+// BenchmarkFig17PuttingItAllTogether regenerates Fig. 17 and reports the
+// full design's latency speedup over BASIL.
+func BenchmarkFig17PuttingItAllTogether(b *testing.B) {
+	m := benchSharedModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig17(experiments.Quick(), m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Scheme == "BCA+Lazy+Arch" {
+				b.ReportMetric(row.Speedup, "full_vs_basil")
+			}
+		}
+	}
+}
+
+// BenchmarkTauSweep regenerates the §6.2.1 τ sensitivity sweep and
+// reports the migration count at the extremes.
+func BenchmarkTauSweep(b *testing.B) {
+	m := benchSharedModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TauSweep(experiments.Quick(), m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Rows[0].Migrations), "migs_tau_0.2")
+		b.ReportMetric(float64(r.Rows[len(r.Rows)-1].Migrations), "migs_tau_0.8")
+	}
+}
+
+// BenchmarkModelTraining measures §4 training cost (data collection plus
+// regression-tree fitting) for the scaled NVDIMM.
+func BenchmarkModelTraining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainModel(uint64(i) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationModels compares tree / linear / aggregation predictors
+// on held-out quiet measurements (§4.4 model choice).
+func BenchmarkAblationModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ModelAblation(experiments.Quick(), uint64(i)+5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TreeMAE, "tree_mae_us")
+		b.ReportMetric(r.AggregationMAE, "agg_mae_us")
+	}
+}
+
+// BenchmarkAblationLambda sweeps the LRFU λ under migration pollution.
+func BenchmarkAblationLambda(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.LambdaAblation(experiments.Quick())
+		b.ReportMetric(r.HitRatios[0]*100, "lfu_like_hit_%")
+		b.ReportMetric(r.LRU*100, "lru_hit_%")
+	}
+}
+
+// BenchmarkAblationNPB isolates the non-persistent barrier's effect on
+// migrated-write starvation (Fig. 10).
+func BenchmarkAblationNPB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NPBAblation()
+		b.ReportMetric(r.WithoutNPBWaitUS, "no_npb_wait_us")
+		b.ReportMetric(r.WithNPBWaitUS, "npb_wait_us")
+	}
+}
+
+// BenchmarkAblationMirroring isolates I/O mirroring inside lazy
+// migration.
+func BenchmarkAblationMirroring(b *testing.B) {
+	m := benchSharedModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.MirroringAblation(experiments.Quick(), m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.WithMirroring.BytesCopied>>20), "mirror_copied_MB")
+		b.ReportMetric(float64(r.WithoutMirroring.BytesCopied>>20), "eager_copied_MB")
+	}
+}
+
+// BenchmarkExtensionDAX measures the DAX access-path study (the paper's
+// concluding outlook).
+func BenchmarkExtensionDAX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.DAXStudy(experiments.Quick())
+		b.ReportMetric(r.Speedups[0], "dax_256B_speedup")
+	}
+}
+
+// BenchmarkPlacementStudy measures the §5.1.1 initial-placement
+// comparison under interference.
+func BenchmarkPlacementStudy(b *testing.B) {
+	m := benchSharedModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.PlacementStudy(experiments.Quick(), m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.BASILNVDIMMRate*100, "basil_nvdimm_%")
+		b.ReportMetric(r.BCANVDIMMRate*100, "bca_nvdimm_%")
+	}
+}
+
+// BenchmarkFig9Schedule regenerates the Fig. 9/10 schedule example and
+// reports the Policy One makespan gain.
+func BenchmarkFig9Schedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9()
+		base := r.Makespan("baseline")
+		p1 := r.Makespan("Policy One")
+		if p1 > 0 {
+			b.ReportMetric(float64(base)/float64(p1), "p1_makespan_gain")
+		}
+	}
+}

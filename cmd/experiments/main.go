@@ -1,0 +1,125 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulation substrate and prints the rows/series the paper reports.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|table2|table3|table4|table5|fig4|fig5|
+//	             fig7|fig9|fig12|fig13|fig14|fig15|fig16|fig17|tau|
+//	             placement|dax|ablations]
+//	            [-scale quick|full] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, table1..table5, fig4..fig17, tau)")
+	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
+	seed := flag.Uint64("seed", 99, "model-training seed")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick()
+	case "full":
+		scale = experiments.Full()
+	default:
+		log.Fatalf("unknown scale %q (quick|full)", *scaleName)
+	}
+
+	var model *perfmodel.Model
+	needModel := func() *perfmodel.Model {
+		if model == nil {
+			fmt.Fprintln(os.Stderr, "training NVDIMM performance model...")
+			m, err := core.TrainScaledNVDIMMModel(*seed)
+			if err != nil {
+				log.Fatalf("model training: %v", err)
+			}
+			model = m
+		}
+		return model
+	}
+
+	type runner struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	str := func(s string) fmt.Stringer { return stringResult(s) }
+	all := []runner{
+		{"table1", func() (fmt.Stringer, error) { return experiments.Table1(), nil }},
+		{"table2", func() (fmt.Stringer, error) { r, err := experiments.Table2(scale); return r, err }},
+		{"table3", func() (fmt.Stringer, error) { r, err := experiments.Table3(); return r, err }},
+		{"table4", func() (fmt.Stringer, error) { return str(experiments.Table4()), nil }},
+		{"table5", func() (fmt.Stringer, error) { return str(experiments.Table5()), nil }},
+		{"fig4", func() (fmt.Stringer, error) { r, err := experiments.Fig4(scale); return r, err }},
+		{"fig5", func() (fmt.Stringer, error) { return experiments.Fig5(scale), nil }},
+		{"fig9", func() (fmt.Stringer, error) { return experiments.Fig9(), nil }},
+		{"fig7", func() (fmt.Stringer, error) {
+			a, err := experiments.Fig7(1.0, scale)
+			if err != nil {
+				return nil, err
+			}
+			b, err := experiments.Fig7(0.1, scale)
+			if err != nil {
+				return nil, err
+			}
+			return str(a.String() + "\n" + b.String()), nil
+		}},
+		{"fig12", func() (fmt.Stringer, error) { r, err := experiments.Fig12(scale, needModel()); return r, err }},
+		{"fig13", func() (fmt.Stringer, error) { r, err := experiments.Fig13(scale, needModel()); return r, err }},
+		{"fig14", func() (fmt.Stringer, error) { return experiments.Fig14(scale), nil }},
+		{"fig15", func() (fmt.Stringer, error) { return experiments.Fig15(scale), nil }},
+		{"fig16", func() (fmt.Stringer, error) { return experiments.Fig16(scale), nil }},
+		{"fig17", func() (fmt.Stringer, error) { r, err := experiments.Fig17(scale, needModel()); return r, err }},
+		{"tau", func() (fmt.Stringer, error) { r, err := experiments.TauSweep(scale, needModel()); return r, err }},
+		{"placement", func() (fmt.Stringer, error) { r, err := experiments.PlacementStudy(scale, needModel()); return r, err }},
+		{"dax", func() (fmt.Stringer, error) { return experiments.DAXStudy(scale), nil }},
+		{"ablations", func() (fmt.Stringer, error) {
+			ma, err := experiments.ModelAblation(scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			la := experiments.LambdaAblation(scale)
+			na := experiments.NPBAblation()
+			mi, err := experiments.MirroringAblation(scale, needModel())
+			if err != nil {
+				return nil, err
+			}
+			return str(ma.String() + "\n" + la.String() + "\n" + na.String() + "\n" + mi.String()), nil
+		}},
+	}
+
+	want := strings.ToLower(*exp)
+	ran := 0
+	for _, r := range all {
+		if want != "all" && want != r.name {
+			continue
+		}
+		ran++
+		start := time.Now()
+		res, err := r.run()
+		if err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
+		fmt.Printf("===== %s (%.1fs) =====\n%s\n", r.name, time.Since(start).Seconds(), res)
+	}
+	if ran == 0 {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+// stringResult adapts a plain string to fmt.Stringer.
+type stringResult string
+
+func (s stringResult) String() string { return string(s) }

@@ -1,0 +1,153 @@
+// Command hsmsim runs one configurable heterogeneous-storage-management
+// simulation and prints a full report: per-device latencies, per-workload
+// throughput, migration activity, and bus-contention totals.
+//
+// Usage:
+//
+//	hsmsim [-scheme basil|pesto|lightsrm|bca|bca-lazy|full]
+//	       [-mem 429.mcf|470.lbm|433.milc] [-memscale F]
+//	       [-nodes N] [-duration MS] [-apps a,b,c] [-tau F] [-seed N]
+//	       [-bypass] [-sched baseline|p1|p2|both]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memsched"
+	"repro/internal/mgmt"
+	"repro/internal/sim"
+)
+
+func schemeByName(name string) (mgmt.Scheme, error) {
+	switch strings.ToLower(name) {
+	case "basil":
+		return mgmt.BASIL(), nil
+	case "pesto":
+		return mgmt.Pesto(), nil
+	case "lightsrm":
+		return mgmt.LightSRM(), nil
+	case "bca":
+		return mgmt.BCA(), nil
+	case "bca-lazy", "bcalazy":
+		return mgmt.BCALazy(), nil
+	case "full":
+		return mgmt.Full(), nil
+	default:
+		return mgmt.Scheme{}, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+func policyByName(name string) (memsched.Policy, error) {
+	switch strings.ToLower(name) {
+	case "baseline", "":
+		return memsched.Baseline(), nil
+	case "p1":
+		return memsched.PolicyOne(), nil
+	case "p2":
+		return memsched.PolicyTwo(), nil
+	case "both":
+		return memsched.Combined(2 * sim.Millisecond), nil
+	default:
+		return memsched.Policy{}, fmt.Errorf("unknown scheduling policy %q", name)
+	}
+}
+
+func main() {
+	schemeName := flag.String("scheme", "bca-lazy", "management scheme")
+	mem := flag.String("mem", "429.mcf", "memory co-runner profile (empty = none)")
+	memScale := flag.Float64("memscale", 1, "co-runner intensity multiplier")
+	nodes := flag.Int("nodes", 1, "server nodes")
+	durationMS := flag.Int("duration", 500, "simulated run time in milliseconds")
+	apps := flag.String("apps", "", "comma-separated app list (default: all eight)")
+	tau := flag.Float64("tau", 0.5, "imbalance threshold τ")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	bypass := flag.Bool("bypass", false, "enable §5.3.2 cache bypassing")
+	schedName := flag.String("sched", "baseline", "NVDIMM scheduling policy (baseline|p1|p2|both)")
+	dax := flag.Bool("dax", false, "enable the DAX byte-addressable NVDIMM path")
+	skew := flag.Float64("skew", 0, "Zipf-like workload hot-spot skew in [0,1)")
+	flag.Parse()
+
+	scheme, err := schemeByName(*schemeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol, err := policyByName(*schedName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := mgmt.DefaultConfig()
+	cfg.Tau = *tau
+	cfg.Window = 10 * sim.Millisecond
+	cfg.MinWindowRequests = 3
+
+	opts := core.Options{
+		Nodes:               *nodes,
+		Scheme:              scheme,
+		Mgmt:                cfg,
+		MemProfile:          *mem,
+		MemScale:            *memScale,
+		Seed:                *seed,
+		SchedPolicy:         pol,
+		BypassMigratedReads: *bypass,
+		DAX:                 *dax,
+		WorkloadSkew:        *skew,
+	}
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+
+	if scheme.BCAModel {
+		fmt.Println("training NVDIMM performance model...")
+	}
+	sys, err := core.NewSystem(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dur := sim.Time(*durationMS) * sim.Millisecond
+	fmt.Printf("running %s for %v (nodes=%d mem=%q)...\n", scheme.Name, dur, *nodes, *mem)
+	sys.Run(dur)
+	printReport(sys.Report())
+}
+
+func printReport(rep core.Report) {
+	fmt.Printf("\n=== report: %s (simulated %v) ===\n", rep.Scheme, rep.Elapsed)
+
+	fmt.Println("\ndevices (mean latency, normalized to slowest):")
+	names := make([]string, 0, len(rep.DeviceMeanUS))
+	for n := range rep.DeviceMeanUS {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-16s %10.1fus  (%.3f)\n", n, rep.DeviceMeanUS[n], rep.NormalizedLatency[n])
+	}
+
+	fmt.Println("\nworkloads (requests/sec):")
+	apps := make([]string, 0, len(rep.WorkloadIOPS))
+	for a := range rep.WorkloadIOPS {
+		apps = append(apps, a)
+	}
+	sort.Strings(apps)
+	for _, a := range apps {
+		fmt.Printf("  %-16s %10.0f\n", a, rep.WorkloadIOPS[a])
+	}
+
+	fmt.Printf("\nmean IOPS:           %.0f\n", rep.MeanIOPS)
+	fmt.Printf("mean latency:        %.1fus\n", rep.MeanLatencyUS)
+	fmt.Printf("NVDIMM contention:   %.1fms total\n", rep.NVDIMMContentionUS/1000)
+	fmt.Printf("cache hit ratio:     %.1f%%\n", rep.CacheHitRatio*100)
+	m := rep.Migration
+	fmt.Printf("migrations:          %d started, %d completed, %d skipped, %d ping-pongs\n",
+		m.MigrationsStarted, m.MigrationsCompleted, m.MigrationsSkipped, m.PingPongs)
+	fmt.Printf("migration traffic:   %dMB copied, %dMB mirrored, %v total time\n",
+		m.BytesCopied>>20, m.BytesMirrored>>20, m.MigrationTime)
+	if rep.NetworkBytes > 0 {
+		fmt.Printf("network traffic:     %dMB\n", rep.NetworkBytes>>20)
+	}
+}

@@ -1,0 +1,70 @@
+// Lazymigration: the §5.2 mechanism up close. A write-heavy VMDK sits on
+// an overloaded HDD; we migrate it eagerly (full copy) and lazily (I/O
+// mirroring + cost/benefit-gated background copy) and compare how much
+// data actually crossed, where the writes landed, and what the workload's
+// latency looked like meanwhile.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/hdd"
+	"repro/internal/mgmt"
+	"repro/internal/nvdimm"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func run(scheme mgmt.Scheme) (st mgmt.Stats, meanLat sim.Time) {
+	eng := sim.NewEngine()
+	ch := bus.NewChannel(eng, 0)
+	nv := nvdimm.New(eng, ch, core.ScaledNVDIMMConfig("nvdimm"))
+	hd := hdd.New(eng, core.ScaledHDDConfig("hdd", 1))
+	stores := []*mgmt.Datastore{
+		mgmt.NewDatastore(nv, 0),
+		mgmt.NewDatastore(hd, 0),
+	}
+	cfg := mgmt.DefaultConfig()
+	cfg.Window = 20 * sim.Millisecond
+	cfg.MinWindowRequests = 3
+	cfg.CopyDepth = 2 // a deliberately leisurely copy engine
+	mgr := mgmt.NewManager(eng, cfg, scheme, stores)
+	mgr.Log().SetCapacity(16)
+
+	// A write-heavy virtual disk stuck on the HDD.
+	v, err := stores[1].CreateVMDK(1, 32<<20)
+	if err != nil {
+		panic(err)
+	}
+	p := workload.Profile{Name: "writer", WriteRatio: 0.9, ReadRand: 0.3, WriteRand: 0.3,
+		IOSize: 64 << 10, OIO: 8, Footprint: 32 << 20, ThinkTime: 500 * sim.Microsecond}
+	r := workload.NewRunner(eng, sim.NewRNG(3), p, v, 0)
+	r.Start()
+	mgr.Start()
+	eng.RunFor(1200 * sim.Millisecond)
+	r.Stop()
+	mgr.Stop()
+	eng.RunFor(100 * sim.Millisecond)
+	return mgr.Stats(), r.MeanLatency()
+}
+
+func main() {
+	fmt.Println("A 32MB write-heavy VMDK lives on a busy HDD; the manager moves it")
+	fmt.Println("to the NVDIMM. How much data actually needs copying?")
+
+	eager, eagerLat := run(mgmt.BCA()) // eager: full copy, no mirroring
+	lazy, lazyLat := run(mgmt.BCALazy())
+
+	fmt.Printf("\n%-28s %10s %10s %12s\n", "", "copied", "mirrored", "workload lat")
+	fmt.Printf("%-28s %8dMB %8dMB %12v\n", "eager full copy:",
+		eager.BytesCopied>>20, eager.BytesMirrored>>20, eagerLat)
+	fmt.Printf("%-28s %8dMB %8dMB %12v\n", "mirroring + cost/benefit:",
+		lazy.BytesCopied>>20, lazy.BytesMirrored>>20, lazyLat)
+
+	saved := eager.BytesCopied - lazy.BytesCopied
+	fmt.Printf("\nI/O mirroring let %d MB of blocks reach the destination as ordinary\n", saved>>20)
+	fmt.Println("workload writes — the copy engine skipped them (per-block bitmap, §5.2),")
+	fmt.Println("and the cost/benefit gate paused copying whenever it wasn't worth it.")
+}

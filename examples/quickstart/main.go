@@ -1,0 +1,55 @@
+// Quickstart: build a single server node with an NVDIMM + SSD + HDD
+// hierarchy, run the eight big-data workloads alongside a memory-hungry
+// co-runner, and print what the storage manager saw and did.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A BCA+Lazy system needs the §4 performance model; train it once
+	// (a few seconds) — it is reusable across systems.
+	fmt.Println("training the NVDIMM performance model...")
+	model, err := repro.TrainModel(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys, err := repro.NewSystem(repro.Options{
+		Scheme:     repro.SchemeBCALazy(), // bus-contention-aware + lazy migration
+		MemProfile: "429.mcf",             // memory-intensive co-runner (Table 5)
+		Model:      model,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("running 500ms of simulated time...")
+	sys.Run(500 * repro.Millisecond)
+
+	rep := sys.Report()
+	fmt.Printf("\nscheme: %s\n", rep.Scheme)
+	fmt.Println("device mean latencies:")
+	for name, us := range rep.DeviceMeanUS {
+		fmt.Printf("  %-16s %9.1f us (normalized %.3f)\n", name, us, rep.NormalizedLatency[name])
+	}
+	fmt.Printf("mean workload throughput: %.0f IOPS\n", rep.MeanIOPS)
+	fmt.Printf("bus contention absorbed by NVDIMM requests: %.1f ms\n", rep.NVDIMMContentionUS/1000)
+	fmt.Printf("migrations: %d started, %d ping-pongs, %d MB copied, %d MB mirrored\n",
+		rep.Migration.MigrationsStarted, rep.Migration.PingPongs,
+		rep.Migration.BytesCopied>>20, rep.Migration.BytesMirrored>>20)
+
+	// Per-window time series: the manager's view each epoch.
+	fmt.Println("\nfirst management windows (measured vs predicted NVDIMM latency):")
+	for i, w := range sys.Samples() {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  t=%-10v measured=%8.1fus predicted=%8.1fus contention=%8.1fus\n",
+			w.At, w.NVDIMMLatencyUS, w.PredictedUS, sys.ContentionOf(w))
+	}
+}

@@ -1,0 +1,202 @@
+// Package bus models the shared DDR memory channel that both DRAM DIMMs
+// and NVDIMMs sit on (paper §2.1). The channel is the contended resource:
+// DRAM demand traffic and NVDIMM block-I/O transfers compete for it, and
+// the extra queuing an NVDIMM transfer suffers behind DRAM traffic is
+// exactly the bus-contention delay BC that the paper's model estimates
+// (Eq. 3).
+package bus
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Priority classes for channel arbitration. DRAM demand requests are
+// latency-critical and served first, which is what throttles NVDIMM I/O
+// under heavy memory traffic (paper §3, Fig. 3/4).
+type Priority uint8
+
+const (
+	// PriMem is DRAM demand traffic (highest priority).
+	PriMem Priority = iota
+	// PriIO is NVDIMM block-I/O traffic.
+	PriIO
+	numPriorities
+)
+
+// DDR3-1600 channel constants (Table 4: 12800 MB/s interface).
+const (
+	// BandwidthBytesPerSec is the peak channel bandwidth.
+	BandwidthBytesPerSec = 12800 * 1000 * 1000
+	// SyncBufferLatency is the NVDIMM synchronization-buffer access time
+	// paid once per NVDIMM transfer (Table 4: 52 ns).
+	SyncBufferLatency = 52 * sim.Nanosecond
+)
+
+// TransferTime returns the channel occupancy for moving n bytes at DDR3-1600
+// peak bandwidth.
+func TransferTime(n int64) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	ns := float64(n) / float64(BandwidthBytesPerSec) * 1e9
+	t := sim.Time(ns)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// grant is one pending channel acquisition.
+type grant struct {
+	hold    sim.Time
+	queued  sim.Time
+	granted func(start sim.Time)
+}
+
+// Channel is one DDR channel shared by a DRAM DIMM and an NVDIMM. Acquire
+// requests channel time; grants are strict-priority, FIFO within a
+// priority. Wait time by class is recorded so experiments can report the
+// contention NVDIMM traffic experienced.
+type Channel struct {
+	eng      *sim.Engine
+	id       int
+	busy     bool
+	queues   [numPriorities][]*grant
+	waitUS   [numPriorities]stats.Summary
+	busyTime sim.Time
+	lastFree sim.Time
+	grants   [numPriorities]uint64
+}
+
+// NewChannel creates a channel bound to the engine.
+func NewChannel(eng *sim.Engine, id int) *Channel {
+	return &Channel{eng: eng, id: id}
+}
+
+// ID returns the channel index.
+func (c *Channel) ID() int { return c.id }
+
+// Acquire asks for the channel for hold nanoseconds at the given priority.
+// granted runs at the simulated time the transfer begins; the channel is
+// released automatically after hold. Use the start argument to compute
+// queuing delay.
+func (c *Channel) Acquire(pri Priority, hold sim.Time, granted func(start sim.Time)) {
+	if hold < 0 {
+		hold = 0
+	}
+	g := &grant{hold: hold, queued: c.eng.Now(), granted: granted}
+	c.queues[pri] = append(c.queues[pri], g)
+	if !c.busy {
+		c.dispatch()
+	}
+}
+
+// dispatch grants the channel to the highest-priority waiter.
+func (c *Channel) dispatch() {
+	var g *grant
+	for p := Priority(0); p < numPriorities; p++ {
+		if len(c.queues[p]) > 0 {
+			g = c.queues[p][0]
+			copy(c.queues[p], c.queues[p][1:])
+			c.queues[p][len(c.queues[p])-1] = nil
+			c.queues[p] = c.queues[p][:len(c.queues[p])-1]
+			c.waitUS[p].Add((c.eng.Now() - g.queued).Micros())
+			c.grants[p]++
+			break
+		}
+	}
+	if g == nil {
+		return
+	}
+	c.busy = true
+	start := c.eng.Now()
+	c.busyTime += g.hold
+	g.granted(start)
+	c.eng.Schedule(g.hold, func() {
+		c.busy = false
+		c.dispatch()
+	})
+}
+
+// QueueLen returns the number of waiters at the given priority.
+func (c *Channel) QueueLen(pri Priority) int { return len(c.queues[pri]) }
+
+// Busy reports whether a transfer is in flight.
+func (c *Channel) Busy() bool { return c.busy }
+
+// MeanWaitUS returns the mean queuing delay (µs) seen by the class.
+func (c *Channel) MeanWaitUS(pri Priority) float64 { return c.waitUS[pri].Mean() }
+
+// Grants returns how many acquisitions of the class have been granted.
+func (c *Channel) Grants(pri Priority) uint64 { return c.grants[pri] }
+
+// BusyTime returns total channel occupancy so far.
+func (c *Channel) BusyTime() sim.Time { return c.busyTime }
+
+// Utilization returns busy-time divided by elapsed simulated time.
+func (c *Channel) Utilization() float64 {
+	now := c.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(c.busyTime) / float64(now)
+}
+
+// ResetStats clears wait/grant statistics (not queue state).
+func (c *Channel) ResetStats() {
+	for p := range c.waitUS {
+		c.waitUS[p].Reset()
+		c.grants[p] = 0
+	}
+}
+
+// Interconnect is the set of memory channels on one server node. Table 4
+// configures 4 channels, each carrying one DRAM DIMM and one NVDIMM.
+type Interconnect struct {
+	channels []*Channel
+}
+
+// NewInterconnect creates n channels on the engine.
+func NewInterconnect(eng *sim.Engine, n int) *Interconnect {
+	ic := &Interconnect{channels: make([]*Channel, n)}
+	for i := range ic.channels {
+		ic.channels[i] = NewChannel(eng, i)
+	}
+	return ic
+}
+
+// Channel returns channel i.
+func (ic *Interconnect) Channel(i int) *Channel { return ic.channels[i] }
+
+// NumChannels returns the channel count.
+func (ic *Interconnect) NumChannels() int { return len(ic.channels) }
+
+// ChannelFor maps an address to a channel by cacheline interleaving.
+func (ic *Interconnect) ChannelFor(addr uint64) *Channel {
+	return ic.channels[(addr>>6)%uint64(len(ic.channels))]
+}
+
+// MeanIOWaitUS returns the average NVDIMM-traffic queuing delay across all
+// channels (µs) — the system-level bus-contention signal.
+func (ic *Interconnect) MeanIOWaitUS() float64 {
+	var sum float64
+	var n int
+	for _, c := range ic.channels {
+		if c.grants[PriIO] > 0 {
+			sum += c.MeanWaitUS(PriIO)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ResetStats clears statistics on every channel.
+func (ic *Interconnect) ResetStats() {
+	for _, c := range ic.channels {
+		c.ResetStats()
+	}
+}

@@ -1,0 +1,178 @@
+package bus
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTransferTime(t *testing.T) {
+	// 12800 bytes at 12800 MB/s = 1 µs.
+	if got := TransferTime(12800); got != sim.Microsecond {
+		t.Fatalf("TransferTime(12800B) = %v, want 1us", got)
+	}
+	if TransferTime(0) != 0 {
+		t.Fatal("zero bytes should take no time")
+	}
+	if TransferTime(-5) != 0 {
+		t.Fatal("negative bytes should take no time")
+	}
+	if TransferTime(1) < 1 {
+		t.Fatal("sub-ns transfer should round up to 1ns")
+	}
+	// 4KB page: 4096/12.8e9 s = 320ns.
+	if got := TransferTime(4096); got != 320 {
+		t.Fatalf("4KB transfer = %v, want 320ns", got)
+	}
+}
+
+func TestChannelImmediateGrant(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewChannel(eng, 0)
+	var started sim.Time = -1
+	c.Acquire(PriIO, 100, func(start sim.Time) { started = start })
+	eng.Run()
+	if started != 0 {
+		t.Fatalf("idle channel grant at %v, want 0", started)
+	}
+}
+
+func TestChannelSerialization(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewChannel(eng, 0)
+	var starts []sim.Time
+	for i := 0; i < 3; i++ {
+		c.Acquire(PriMem, 100, func(start sim.Time) { starts = append(starts, start) })
+	}
+	eng.Run()
+	want := []sim.Time{0, 100, 200}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("starts = %v, want %v", starts, want)
+		}
+	}
+}
+
+func TestChannelPriority(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewChannel(eng, 0)
+	var order []string
+	// Occupy the channel first so both waiters queue.
+	c.Acquire(PriIO, 50, func(sim.Time) { order = append(order, "first") })
+	c.Acquire(PriIO, 50, func(sim.Time) { order = append(order, "io") })
+	c.Acquire(PriMem, 50, func(sim.Time) { order = append(order, "mem") })
+	eng.Run()
+	if len(order) != 3 || order[1] != "mem" || order[2] != "io" {
+		t.Fatalf("priority order = %v, want mem before io", order)
+	}
+}
+
+func TestChannelContentionDelaysIO(t *testing.T) {
+	// A stream of DRAM traffic should push NVDIMM transfer wait times up.
+	eng := sim.NewEngine()
+	c := NewChannel(eng, 0)
+	// Saturate with memory traffic: 20 grants of 100ns each.
+	for i := 0; i < 20; i++ {
+		c.Acquire(PriMem, 100, func(sim.Time) {})
+	}
+	var ioStart sim.Time = -1
+	c.Acquire(PriIO, 320, func(start sim.Time) { ioStart = start })
+	eng.Run()
+	if ioStart != 2000 {
+		t.Fatalf("IO start = %v, want 2000 (after all mem traffic)", ioStart)
+	}
+	if c.MeanWaitUS(PriIO) <= c.MeanWaitUS(PriMem) {
+		t.Fatalf("IO wait (%v) should exceed mem wait (%v)",
+			c.MeanWaitUS(PriIO), c.MeanWaitUS(PriMem))
+	}
+}
+
+func TestChannelStats(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewChannel(eng, 3)
+	if c.ID() != 3 {
+		t.Fatalf("ID = %d", c.ID())
+	}
+	c.Acquire(PriMem, 100, func(sim.Time) {})
+	c.Acquire(PriIO, 200, func(sim.Time) {})
+	eng.Run()
+	if c.Grants(PriMem) != 1 || c.Grants(PriIO) != 1 {
+		t.Fatalf("grants = %d/%d", c.Grants(PriMem), c.Grants(PriIO))
+	}
+	if c.BusyTime() != 300 {
+		t.Fatalf("busy time = %v", c.BusyTime())
+	}
+	if u := c.Utilization(); u != 1 {
+		t.Fatalf("utilization = %v, want 1 (fully busy)", u)
+	}
+	c.ResetStats()
+	if c.Grants(PriMem) != 0 || c.MeanWaitUS(PriIO) != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestChannelNegativeHoldClamped(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewChannel(eng, 0)
+	ran := false
+	c.Acquire(PriIO, -10, func(sim.Time) { ran = true })
+	eng.Run()
+	if !ran {
+		t.Fatal("negative-hold grant never ran")
+	}
+	if c.Busy() {
+		t.Fatal("channel stuck busy")
+	}
+}
+
+func TestChannelQueueLen(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewChannel(eng, 0)
+	c.Acquire(PriMem, 100, func(sim.Time) {})
+	c.Acquire(PriIO, 100, func(sim.Time) {})
+	c.Acquire(PriIO, 100, func(sim.Time) {})
+	if c.QueueLen(PriIO) != 2 {
+		t.Fatalf("queue len = %d, want 2", c.QueueLen(PriIO))
+	}
+	eng.Run()
+	if c.QueueLen(PriIO) != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestInterconnect(t *testing.T) {
+	eng := sim.NewEngine()
+	ic := NewInterconnect(eng, 4)
+	if ic.NumChannels() != 4 {
+		t.Fatalf("channels = %d", ic.NumChannels())
+	}
+	// Cacheline interleave: addresses 0, 64, 128, 192 map to channels 0..3.
+	for i := 0; i < 4; i++ {
+		if got := ic.ChannelFor(uint64(i * 64)); got != ic.Channel(i) {
+			t.Fatalf("addr %d mapped to channel %d", i*64, got.ID())
+		}
+	}
+	// Same cacheline maps consistently.
+	if ic.ChannelFor(65) != ic.Channel(1) {
+		t.Fatal("within-line addresses must map to the same channel")
+	}
+}
+
+func TestInterconnectMeanIOWait(t *testing.T) {
+	eng := sim.NewEngine()
+	ic := NewInterconnect(eng, 2)
+	if ic.MeanIOWaitUS() != 0 {
+		t.Fatal("no traffic should mean zero wait")
+	}
+	ch := ic.Channel(0)
+	ch.Acquire(PriMem, 1000, func(sim.Time) {})
+	ch.Acquire(PriIO, 100, func(sim.Time) {})
+	eng.Run()
+	if ic.MeanIOWaitUS() != 1.0 {
+		t.Fatalf("mean IO wait = %v us, want 1.0", ic.MeanIOWaitUS())
+	}
+	ic.ResetStats()
+	if ic.MeanIOWaitUS() != 0 {
+		t.Fatal("ResetStats did not clear interconnect stats")
+	}
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/hdd"
+	"repro/internal/nvdimm"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+func smallNodeConfig(name string, withMem bool) NodeConfig {
+	// Physical flash must back the advertised capacity, or sustained
+	// writes drive the FTL to 100% utilization and GC thrash.
+	nvCfg := nvdimm.DefaultConfig(name+"-nv", 256<<20, 4096)
+	nvCfg.Flash.NumChannels = 4
+	nvCfg.Flash.ChipsPerChannel = 2
+	nvCfg.Flash.PagesPerBlock = 16
+	nvCfg.CacheBlocks = 128
+	sdCfg := ssd.DefaultConfig(name+"-ssd", 512<<20, 8192)
+	sdCfg.Flash.NumChannels = 4
+	sdCfg.Flash.ChipsPerChannel = 2
+	sdCfg.Flash.PagesPerBlock = 16
+	cfg := NodeConfig{
+		Name:   name,
+		NVDIMM: nvCfg,
+		SSD:    sdCfg,
+		HDD:    hdd.DefaultConfig(name + "-hdd"),
+	}
+	if withMem {
+		mcf, _ := workload.SPECProfile("429.mcf")
+		cfg.MemProfile = &mcf
+	}
+	return cfg
+}
+
+func TestAddNodeAssemblesDevices(t *testing.T) {
+	c := New()
+	rng := sim.NewRNG(1)
+	n, err := c.AddNode(smallNodeConfig("n0", true), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Index != 0 || n.Name != "n0" {
+		t.Fatalf("node identity: %d %q", n.Index, n.Name)
+	}
+	if len(n.DIMMs) != 4 || n.IC.NumChannels() != 4 {
+		t.Fatalf("channels = %d, dimms = %d", n.IC.NumChannels(), len(n.DIMMs))
+	}
+	if len(n.Stores) != 3 {
+		t.Fatalf("stores = %d", len(n.Stores))
+	}
+	if len(n.MemGens) != 4 {
+		t.Fatalf("memgens = %d", len(n.MemGens))
+	}
+	if n.Stores[0].Node != 0 {
+		t.Fatal("datastore node index wrong")
+	}
+}
+
+func TestDefaultNodeName(t *testing.T) {
+	c := New()
+	cfg := smallNodeConfig("", false)
+	cfg.Name = ""
+	n, _ := c.AddNode(cfg, sim.NewRNG(1))
+	if n.Name != "node0" {
+		t.Fatalf("default name = %q", n.Name)
+	}
+}
+
+func TestMemTrafficStartsAndStops(t *testing.T) {
+	c := New()
+	n, _ := c.AddNode(smallNodeConfig("n0", true), sim.NewRNG(1))
+	c.StartMemTraffic()
+	c.Eng.RunFor(2 * sim.Millisecond)
+	c.StopMemTraffic()
+	var total uint64
+	for _, d := range n.DIMMs {
+		total += d.Intensity().Total()
+	}
+	if total == 0 {
+		t.Fatal("no memory traffic generated")
+	}
+}
+
+func TestAllStoresAcrossNodes(t *testing.T) {
+	c := New()
+	c.AddNode(smallNodeConfig("n0", false), sim.NewRNG(1))
+	c.AddNode(smallNodeConfig("n1", false), sim.NewRNG(2))
+	c.AddNode(smallNodeConfig("n2", false), sim.NewRNG(3))
+	if got := len(c.AllStores()); got != 9 {
+		t.Fatalf("stores = %d, want 9", got)
+	}
+}
+
+func TestLinkTransferTiming(t *testing.T) {
+	c := New()
+	c.LinkBandwidth = 1000 * 1000 * 1000 // 1 GB/s for round numbers
+	c.LinkLatency = 10 * sim.Microsecond
+	c.AddNode(smallNodeConfig("n0", false), sim.NewRNG(1))
+	c.AddNode(smallNodeConfig("n1", false), sim.NewRNG(2))
+	var doneAt sim.Time = -1
+	// 1 MB at 1 GB/s = 1 ms, plus 10us latency.
+	c.Transfer(0, 1, 1000*1000, func() { doneAt = c.Eng.Now() })
+	c.Eng.Run()
+	want := sim.Millisecond + 10*sim.Microsecond
+	if doneAt != want {
+		t.Fatalf("transfer done at %v, want %v", doneAt, want)
+	}
+	if c.NetworkBytes() != 1000*1000 {
+		t.Fatalf("network bytes = %d", c.NetworkBytes())
+	}
+}
+
+func TestLinkSerializes(t *testing.T) {
+	c := New()
+	c.LinkBandwidth = 1000 * 1000 * 1000
+	c.LinkLatency = 0
+	c.AddNode(smallNodeConfig("n0", false), sim.NewRNG(1))
+	c.AddNode(smallNodeConfig("n1", false), sim.NewRNG(2))
+	var first, second sim.Time
+	c.Transfer(0, 1, 1000*1000, func() { first = c.Eng.Now() })
+	c.Transfer(1, 0, 1000*1000, func() { second = c.Eng.Now() }) // same link both directions
+	c.Eng.Run()
+	if second != 2*first {
+		t.Fatalf("link did not serialize: %v then %v", first, second)
+	}
+}
+
+func TestSameNodeTransferFree(t *testing.T) {
+	c := New()
+	c.AddNode(smallNodeConfig("n0", false), sim.NewRNG(1))
+	called := false
+	c.Transfer(0, 0, 1<<30, func() { called = true })
+	if !called {
+		t.Fatal("same-node transfer should complete synchronously")
+	}
+	if c.NetworkBytes() != 0 {
+		t.Fatal("same-node transfer counted as network traffic")
+	}
+}

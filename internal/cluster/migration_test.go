@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/mgmt"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestCrossNodeMigrationPaysNetwork drives a two-node cluster into an
+// imbalance whose only remedy is a cross-node move, and checks that the
+// migration data actually crossed the modeled Ethernet link.
+func TestCrossNodeMigrationPaysNetwork(t *testing.T) {
+	c := New()
+	rng := sim.NewRNG(1)
+	n0, err := c.AddNode(smallNodeConfig("n0", false), rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddNode(smallNodeConfig("n1", false), rng.Split()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Manage only node 0's HDD and node 1's stores, so the balancer's
+	// sole escape from the overloaded HDD is a cross-node migration.
+	stores := []*mgmt.Datastore{n0.Stores[2], c.Nodes[1].Stores[0], c.Nodes[1].Stores[1]}
+	cfg := mgmt.DefaultConfig()
+	cfg.Window = 25 * sim.Millisecond
+	cfg.MinWindowRequests = 3
+	mgr := mgmt.NewManager(c.Eng, cfg, mgmt.BASIL(), stores)
+	mgr.SetNetwork(c)
+
+	v, err := n0.Stores[2].CreateVMDK(1, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.Profile{Name: "w", WriteRatio: 0.3, ReadRand: 0.8, WriteRand: 0.8,
+		IOSize: 4096, OIO: 4, Footprint: 8 << 20}
+	r := workload.NewRunner(c.Eng, rng.Split(), p, v, 0)
+	r.Start()
+	mgr.Start()
+	c.Eng.RunFor(800 * sim.Millisecond)
+	r.Stop()
+	mgr.Stop()
+	c.Eng.Run()
+
+	st := mgr.Stats()
+	if st.MigrationsStarted == 0 {
+		t.Fatal("no cross-node migration started")
+	}
+	if c.NetworkBytes() == 0 {
+		t.Fatal("migration moved without paying network transfer")
+	}
+	if v.Store().Node != 1 {
+		t.Fatalf("VMDK still on node %d", v.Store().Node)
+	}
+}

@@ -1,0 +1,444 @@
+// Package core assembles the full system of the paper: simulated server
+// nodes (DRAM + NVDIMM + SSD + HDD on shared memory channels), big-data
+// I/O workloads mixed with SPEC-style memory co-runners, the trained
+// performance model, and the storage manager running one of the §5/§2.2
+// schemes. It is the experiment substrate every table/figure regenerator
+// drives.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/cluster"
+	"repro/internal/device"
+	"repro/internal/hdd"
+	"repro/internal/memsched"
+	"repro/internal/mgmt"
+	"repro/internal/mlmodel"
+	"repro/internal/nvdimm"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+// Options configures a System. Zero values select the evaluation
+// defaults.
+type Options struct {
+	// Nodes is the server-node count (§6.1: 1 or 3).
+	Nodes int
+	// Scheme is the management scheme under test.
+	Scheme mgmt.Scheme
+	// Mgmt overrides manager parameters (zero → scaled defaults).
+	Mgmt mgmt.Config
+	// MemProfile names the SPEC co-runner ("" = none; "429.mcf", …).
+	MemProfile string
+	// MemScale multiplies co-runner intensity (default 1).
+	MemScale float64
+	// Apps lists big-data workloads (default: all eight of Table 5).
+	Apps []string
+	// FootprintDivisor scales application footprints and VMDK sizes down
+	// from the paper's GB scale so simulations stay tractable
+	// (default 256: 24 GB → 96 MB).
+	FootprintDivisor int64
+	// Seed drives all randomness.
+	Seed uint64
+	// SchedPolicy is the NVDIMM transaction-queue policy (§5.3.1).
+	SchedPolicy memsched.Policy
+	// BypassMigratedReads enables §5.3.2 cache bypassing on NVDIMMs.
+	BypassMigratedReads bool
+	// CacheBlocks overrides the NVDIMM buffer-cache size in pages.
+	CacheBlocks int
+	// NVDIMMPrefill pre-fills NVDIMMs to the ratio (GC experiments).
+	NVDIMMPrefill float64
+	// Model injects a pre-trained NVDIMM performance model; when nil and
+	// the scheme needs one, the System trains one at construction.
+	Model *perfmodel.Model
+	// NoHDDPlacement keeps initial VMDK placement off HDD stores (the
+	// Table 2 controlled setup: NVDIMM vs SSD balance decisions only).
+	NoHDDPlacement bool
+	// MemPhasePeriod overrides the co-runner's memory/compute phase
+	// alternation period (0 keeps the profile default). Management
+	// experiments set it to several management windows so interference
+	// appears persistent to the decision loop, as in the paper's
+	// 30-minute sampling regime.
+	MemPhasePeriod sim.Time
+	// DAX enables the byte-addressable NVDIMM access path (the paper's
+	// concluding outlook).
+	DAX bool
+	// WorkloadSkew applies a Zipf-like hot-spot distribution to every
+	// application's random accesses (0 = the profiles' uniform jumps).
+	WorkloadSkew float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes <= 0 {
+		o.Nodes = 1
+	}
+	if o.Scheme.Name == "" {
+		o.Scheme = mgmt.BASIL()
+	}
+	if len(o.Apps) == 0 {
+		for _, p := range workload.BigDataApps() {
+			o.Apps = append(o.Apps, p.Name)
+		}
+	}
+	if o.FootprintDivisor <= 0 {
+		o.FootprintDivisor = 256
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.MemScale <= 0 {
+		o.MemScale = 1
+	}
+	if o.Mgmt.Window <= 0 {
+		o.Mgmt = mgmt.DefaultConfig()
+		o.Mgmt.Window = 25 * sim.Millisecond
+		o.Mgmt.MinWindowRequests = 4
+	}
+	return o
+}
+
+// ScaledNVDIMMConfig returns the Table 4 NVDIMM scaled for simulation:
+// the full 16-channel × 4-chip geometry (write bandwidth matters for the
+// balance dynamics), 32 pages/block, 2048 physical blocks = 256 MB of
+// simulated flash backing the full logical extent, 2 MB cache.
+func ScaledNVDIMMConfig(name string) nvdimm.Config {
+	cfg := nvdimm.DefaultConfig(name, 256<<20, 2048)
+	cfg.Flash.PagesPerBlock = 32
+	cfg.CacheBlocks = 512 // 2 MB of 4 KB pages (400 MB ÷ the capacity scale)
+	return cfg
+}
+
+// ScaledSSDConfig returns the Table 4 SSD scaled likewise.
+func ScaledSSDConfig(name string) ssd.Config {
+	cfg := ssd.DefaultConfig(name, 512<<20, 4096)
+	cfg.Flash.PagesPerBlock = 32
+	return cfg
+}
+
+// ScaledHDDConfig returns the Table 4 HDD scaled to 4 GB.
+func ScaledHDDConfig(name string, seed uint64) hdd.Config {
+	return hdd.Config{Name: name, Capacity: 4 << 30, Seed: seed}
+}
+
+// WindowSample is one management-epoch observation (the Fig. 4/7/15 time
+// series).
+type WindowSample struct {
+	At sim.Time
+	// NVDIMMLatencyUS is the measured NVDIMM latency (node 0).
+	NVDIMMLatencyUS float64
+	// PredictedUS is the model's PP for the same window (0 without model).
+	PredictedUS float64
+	// MemIntensity is memory accesses observed in the window (node 0).
+	MemIntensity uint64
+	// CacheHitRatio is the NVDIMM buffer-cache window hit ratio.
+	CacheHitRatio float64
+	// PerStoreUS maps device name → decision latency P_d.
+	PerStoreUS map[string]float64
+}
+
+// System is an assembled experiment instance.
+type System struct {
+	Opts    Options
+	Cluster *cluster.Cluster
+	Manager *mgmt.Manager
+	Model   *perfmodel.Model
+	Runners []*workload.Runner
+	VMDKs   []*mgmt.VMDK
+
+	rng       *sim.RNG
+	samples   []WindowSample
+	lastTotal map[int]uint64 // per-node intensity snapshot
+}
+
+// NewSystem builds and wires a system; it trains the NVDIMM model when
+// the scheme requires one and none was injected.
+func NewSystem(opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	s := &System{Opts: opts, rng: sim.NewRNG(opts.Seed), lastTotal: make(map[int]uint64)}
+
+	var memProfile *workload.MemProfile
+	if opts.MemProfile != "" {
+		p, ok := workload.SPECProfile(opts.MemProfile)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown memory profile %q", opts.MemProfile)
+		}
+		if opts.MemPhasePeriod > 0 {
+			p.PhasePeriod = opts.MemPhasePeriod
+		}
+		memProfile = &p
+	}
+
+	s.Cluster = cluster.New()
+	for i := 0; i < opts.Nodes; i++ {
+		name := fmt.Sprintf("node%d", i)
+		nvCfg := ScaledNVDIMMConfig(name + "-nvdimm")
+		nvCfg.Sched = opts.SchedPolicy
+		nvCfg.BypassMigratedReads = opts.BypassMigratedReads
+		nvCfg.DAX = opts.DAX
+		if opts.CacheBlocks > 0 {
+			nvCfg.CacheBlocks = opts.CacheBlocks
+		}
+		ncfg := cluster.NodeConfig{
+			Name:       name,
+			Channels:   4,
+			NVDIMM:     nvCfg,
+			SSD:        ScaledSSDConfig(name + "-ssd"),
+			HDD:        ScaledHDDConfig(name+"-hdd", opts.Seed+uint64(i)),
+			MemProfile: memProfile,
+			MemScale:   opts.MemScale,
+			// 64-cacheline bursts keep long co-runner simulations cheap
+			// while preserving channel occupancy.
+			MemAggregation: 64,
+		}
+		node, err := s.Cluster.AddNode(ncfg, s.rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		if opts.NVDIMMPrefill > 0 {
+			node.NVDIMM.Prefill(opts.NVDIMMPrefill)
+		}
+	}
+
+	// Train (or adopt) the NVDIMM performance model.
+	s.Model = opts.Model
+	if s.Model == nil && opts.Scheme.BCAModel {
+		m, err := TrainScaledNVDIMMModel(opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s.Model = m
+	}
+
+	s.Manager = mgmt.NewManager(s.Cluster.Eng, opts.Mgmt, opts.Scheme, s.Cluster.AllStores())
+	if s.Model != nil {
+		s.Manager.SetModel(device.KindNVDIMM, s.Model)
+	}
+	s.Manager.SetNetwork(s.Cluster)
+	s.Manager.OnEpoch = s.observeEpoch
+
+	// Place VMDKs: §6.2 "initially assign workloads to servers randomly,
+	// but in a greedy manner so as to keep a space-balanced arrangement".
+	if err := s.placeWorkloads(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// placeWorkloads creates one VMDK + runner per application, spread
+// greedily by free space.
+func (s *System) placeWorkloads() error {
+	stores := s.Cluster.AllStores()
+	for i, appName := range s.Opts.Apps {
+		p, ok := workload.AppProfile(appName)
+		if !ok {
+			return fmt.Errorf("core: unknown app %q", appName)
+		}
+		p.Footprint /= s.Opts.FootprintDivisor
+		if p.Footprint < 8<<20 {
+			p.Footprint = 8 << 20
+		}
+		if s.Opts.WorkloadSkew > 0 {
+			p.Skew = s.Opts.WorkloadSkew
+		}
+		// Space-balanced spread: round-robin across stores (random start
+		// per §6.2), skipping stores that cannot hold the extent.
+		var best *mgmt.Datastore
+		for j := 0; j < len(stores); j++ {
+			ds := stores[(i+j)%len(stores)]
+			if s.Opts.NoHDDPlacement && ds.Dev.Kind() == device.KindHDD {
+				continue
+			}
+			if ds.Free() >= p.Footprint {
+				best = ds
+				break
+			}
+		}
+		if best == nil {
+			return fmt.Errorf("core: no capacity for %s (%d bytes)", appName, p.Footprint)
+		}
+		v, err := best.CreateVMDK(i+1, p.Footprint)
+		if err != nil {
+			return err
+		}
+		s.VMDKs = append(s.VMDKs, v)
+		r := workload.NewRunner(s.Cluster.Eng, s.rng.Split(), p, v, i)
+		s.Runners = append(s.Runners, r)
+	}
+	return nil
+}
+
+// observeEpoch records the per-window time series.
+func (s *System) observeEpoch(perfs []mgmt.StorePerf) {
+	sample := WindowSample{At: s.Cluster.Eng.Now(), PerStoreUS: make(map[string]float64)}
+	for _, p := range perfs {
+		sample.PerStoreUS[p.Store.Dev.Name()] = p.PerfUS
+		if p.Store.Dev.Kind() == device.KindNVDIMM && p.Store.Node == 0 {
+			sample.NVDIMMLatencyUS = p.MeasuredUS
+			if s.Model != nil {
+				sample.PredictedUS = s.Model.PredictUS(p.WC)
+			}
+		}
+	}
+	node0 := s.Cluster.Nodes[0]
+	var total uint64
+	for _, d := range node0.DIMMs {
+		total += d.Intensity().Total()
+	}
+	sample.MemIntensity = total - s.lastTotal[0]
+	s.lastTotal[0] = total
+	st := node0.NVDIMM.Cache().Stats()
+	sample.CacheHitRatio = st.WindowHitRatio()
+	st.ResetWindow()
+	s.samples = append(s.samples, sample)
+}
+
+// Samples returns the recorded window series.
+func (s *System) Samples() []WindowSample { return s.samples }
+
+// Start launches workloads, memory traffic, and the manager.
+func (s *System) Start() {
+	for _, r := range s.Runners {
+		r.Start()
+	}
+	s.Cluster.StartMemTraffic()
+	s.Manager.Start()
+}
+
+// Stop halts generation and management; in-flight work drains on the
+// next Run of the engine.
+func (s *System) Stop() {
+	for _, r := range s.Runners {
+		r.Stop()
+	}
+	s.Cluster.StopMemTraffic()
+	s.Manager.Stop()
+}
+
+// Run starts everything, runs d of simulated time, then stops and
+// drains.
+func (s *System) Run(d sim.Time) {
+	s.Start()
+	s.Cluster.Eng.RunFor(d)
+	s.Stop()
+	// Bound the drain: long-tail events (e.g. paused lazy migrations)
+	// must not spin forever.
+	s.Cluster.Eng.RunFor(d / 4)
+}
+
+// Report summarizes the run.
+type Report struct {
+	Scheme string
+	// DeviceMeanUS maps device name → lifetime mean latency (µs).
+	DeviceMeanUS map[string]float64
+	// NormalizedLatency maps device name → latency normalized to the
+	// slowest device (Fig. 12's metric).
+	NormalizedLatency map[string]float64
+	// WorkloadIOPS maps app name → completed requests per simulated
+	// second.
+	WorkloadIOPS map[string]float64
+	// MeanIOPS is the average across workloads (speedup basis, §6.2.3).
+	MeanIOPS float64
+	// MeanLatencyUS is the request-weighted mean latency across devices.
+	MeanLatencyUS float64
+	// Migration is the manager's activity summary.
+	Migration mgmt.Stats
+	// NVDIMMContentionUS is the mean measured bus-contention delay.
+	NVDIMMContentionUS float64
+	// CacheHitRatio is the node-0 NVDIMM lifetime cache hit ratio.
+	CacheHitRatio float64
+	// NetworkBytes is cross-node migration traffic.
+	NetworkBytes int64
+	// Elapsed is the simulated duration covered by the report.
+	Elapsed sim.Time
+}
+
+// Report computes the run summary.
+func (s *System) Report() Report {
+	rep := Report{
+		Scheme:            s.Opts.Scheme.Name,
+		DeviceMeanUS:      make(map[string]float64),
+		NormalizedLatency: make(map[string]float64),
+		WorkloadIOPS:      make(map[string]float64),
+		Migration:         s.Manager.Stats(),
+		NetworkBytes:      s.Cluster.NetworkBytes(),
+		Elapsed:           s.Cluster.Eng.Now(),
+	}
+	slowest := 0.0
+	var latSum, reqSum float64
+	for _, n := range s.Cluster.Nodes {
+		for _, ds := range n.Stores {
+			m := ds.Dev.Metrics()
+			mean := m.Lifetime.Mean()
+			rep.DeviceMeanUS[ds.Dev.Name()] = mean
+			if mean > slowest {
+				slowest = mean
+			}
+			latSum += mean * float64(m.Lifetime.N())
+			reqSum += float64(m.Lifetime.N())
+		}
+		rep.NVDIMMContentionUS += n.NVDIMM.Metrics().LifetimeContentionUS
+	}
+	if reqSum > 0 {
+		rep.MeanLatencyUS = latSum / reqSum
+	}
+	for name, mean := range rep.DeviceMeanUS {
+		if slowest > 0 {
+			rep.NormalizedLatency[name] = mean / slowest
+		}
+	}
+	secs := s.Cluster.Eng.Now().Seconds()
+	var iopsSum float64
+	for _, r := range s.Runners {
+		iops := 0.0
+		if secs > 0 {
+			iops = float64(r.Completed()) / secs
+		}
+		rep.WorkloadIOPS[r.Profile().Name] = iops
+		iopsSum += iops
+	}
+	if len(s.Runners) > 0 {
+		rep.MeanIOPS = iopsSum / float64(len(s.Runners))
+	}
+	rep.CacheHitRatio = s.Cluster.Nodes[0].NVDIMM.Cache().Stats().HitRatio()
+	return rep
+}
+
+// TrainScaledNVDIMMModel trains the performance model on quiet scaled
+// NVDIMMs (the §4 offline training pass). The result is reusable across
+// systems with the same scaled configuration.
+func TrainScaledNVDIMMModel(seed uint64) (*perfmodel.Model, error) {
+	spec := perfmodel.DefaultTrainSpec()
+	spec.Seed = seed
+	spec.FreeSpaceRatios = []float64{1.0, 0.3}
+	// Span queue depths well past the flash parallelism so measured OIO
+	// values inflated by bus contention do not extrapolate off the grid.
+	spec.OIOs = []int{1, 4, 16, 48}
+	spec.IOSizes = []int64{4 << 10, 64 << 10, 256 << 10}
+	spec.WindowPerPoint = 3 * sim.Millisecond
+	spec.Warmup = sim.Millisecond
+	spec.Footprint = 64 << 20
+	ds := perfmodel.Collect(func(fill float64) (*sim.Engine, device.Device) {
+		eng := sim.NewEngine()
+		ch := bus.NewChannel(eng, 0)
+		n := nvdimm.New(eng, ch, ScaledNVDIMMConfig("train"))
+		n.Prefill(fill)
+		return eng, n
+	}, spec)
+	return perfmodel.TrainModel(ds, mlmodel.DefaultTreeConfig())
+}
+
+// contentionOf is a small helper for experiments: MP − PP for a window.
+func (s *System) ContentionOf(sample WindowSample) float64 {
+	if s.Model == nil {
+		return 0
+	}
+	bc := sample.NVDIMMLatencyUS - sample.PredictedUS
+	if bc < 0 {
+		return 0
+	}
+	return bc
+}

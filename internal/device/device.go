@@ -1,0 +1,186 @@
+// Package device defines the common storage-device abstraction shared by
+// the NVDIMM, SSD, and HDD models, plus per-device metric collection.
+//
+// Devices are event-driven: Submit enqueues a request and the device calls
+// the completion callback at the simulated time the request finishes. All
+// devices attached to one node share a single sim.Engine.
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Kind identifies the device technology.
+type Kind uint8
+
+const (
+	// KindNVDIMM is a flash-backed NVDIMM on the DDR bus.
+	KindNVDIMM Kind = iota
+	// KindSSD is a PCIe solid-state drive.
+	KindSSD
+	// KindHDD is a SATA rotational disk.
+	KindHDD
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNVDIMM:
+		return "NVDIMM"
+	case KindSSD:
+		return "SSD"
+	case KindHDD:
+		return "HDD"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Completion is called when a request finishes; the request's Complete
+// field is set before the call.
+type Completion func(*trace.IORequest)
+
+// Device is a storage device in the heterogeneous hierarchy.
+type Device interface {
+	// Name returns the device's unique name within its node.
+	Name() string
+	// Kind returns the device technology.
+	Kind() Kind
+	// Capacity returns the device capacity in bytes.
+	Capacity() int64
+	// Used returns the bytes currently allocated on the device.
+	Used() int64
+	// SetUsed records the allocated byte count (managed by the datastore
+	// layer; devices use it for free-space-dependent behaviour such as GC).
+	SetUsed(bytes int64)
+	// FreeSpaceRatio returns free/capacity in [0,1].
+	FreeSpaceRatio() float64
+	// Submit enqueues a request; done is invoked at completion time.
+	Submit(r *trace.IORequest, done Completion)
+	// Metrics returns the device's metric collector.
+	Metrics() *Metrics
+}
+
+// Metrics accumulates per-device statistics, both for the lifetime of the
+// device and for the current measurement window (the storage manager reads
+// and resets windows each management epoch).
+type Metrics struct {
+	name string
+
+	// Lifetime counters.
+	TotalReads  uint64
+	TotalWrites uint64
+	TotalBytes  int64
+	Lifetime    stats.Summary // latency in microseconds
+
+	// Current window.
+	Window      stats.Sample // latency in microseconds
+	windowReads uint64
+	windowWrite uint64
+	windowStart sim.Time
+	// ContentionUS accumulates bus-contention delay attributed to this
+	// device's requests in the window (NVDIMM only), in microseconds.
+	ContentionUS float64
+	// LifetimeContentionUS accumulates contention across all windows.
+	LifetimeContentionUS float64
+}
+
+// NewMetrics returns a metric collector labelled with the device name.
+func NewMetrics(name string) *Metrics { return &Metrics{name: name} }
+
+// Observe records one completed request.
+func (m *Metrics) Observe(r *trace.IORequest) {
+	latUS := r.Latency().Micros()
+	m.Lifetime.Add(latUS)
+	m.Window.Add(latUS)
+	m.TotalBytes += r.Size
+	if r.Op == trace.OpRead {
+		m.TotalReads++
+		m.windowReads++
+	} else {
+		m.TotalWrites++
+		m.windowWrite++
+	}
+}
+
+// AddContention attributes extra bus-contention microseconds to the window.
+func (m *Metrics) AddContention(us float64) {
+	m.ContentionUS += us
+	m.LifetimeContentionUS += us
+}
+
+// WindowMeanLatencyUS returns the mean latency (µs) of the current window.
+func (m *Metrics) WindowMeanLatencyUS() float64 { return m.Window.Mean() }
+
+// WindowRequests returns the number of requests completed in the window.
+func (m *Metrics) WindowRequests() uint64 { return m.windowReads + m.windowWrite }
+
+// ResetWindow starts a new measurement window at time now.
+func (m *Metrics) ResetWindow(now sim.Time) {
+	m.Window.Reset()
+	m.windowReads, m.windowWrite = 0, 0
+	m.ContentionUS = 0
+	m.windowStart = now
+}
+
+// WindowStart returns when the current window began.
+func (m *Metrics) WindowStart() sim.Time { return m.windowStart }
+
+// String summarizes lifetime metrics.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("%s: reads=%d writes=%d meanLat=%.1fus",
+		m.name, m.TotalReads, m.TotalWrites, m.Lifetime.Mean())
+}
+
+// Base provides the bookkeeping shared by all device implementations:
+// capacity accounting and metrics. Concrete devices embed it.
+type Base struct {
+	name     string
+	kind     Kind
+	capacity int64
+	used     int64
+	metrics  *Metrics
+}
+
+// NewBase constructs the shared device state.
+func NewBase(name string, kind Kind, capacity int64) Base {
+	return Base{name: name, kind: kind, capacity: capacity, metrics: NewMetrics(name)}
+}
+
+// Name implements Device.
+func (b *Base) Name() string { return b.name }
+
+// Kind implements Device.
+func (b *Base) Kind() Kind { return b.kind }
+
+// Capacity implements Device.
+func (b *Base) Capacity() int64 { return b.capacity }
+
+// Used implements Device.
+func (b *Base) Used() int64 { return b.used }
+
+// SetUsed implements Device.
+func (b *Base) SetUsed(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	if bytes > b.capacity {
+		bytes = b.capacity
+	}
+	b.used = bytes
+}
+
+// FreeSpaceRatio implements Device.
+func (b *Base) FreeSpaceRatio() float64 {
+	if b.capacity == 0 {
+		return 0
+	}
+	return float64(b.capacity-b.used) / float64(b.capacity)
+}
+
+// Metrics implements Device.
+func (b *Base) Metrics() *Metrics { return b.metrics }

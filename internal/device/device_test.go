@@ -1,0 +1,115 @@
+package device
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNVDIMM: "NVDIMM",
+		KindSSD:    "SSD",
+		KindHDD:    "HDD",
+		Kind(7):    "kind(7)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestBaseAccounting(t *testing.T) {
+	b := NewBase("dev0", KindSSD, 1000)
+	if b.Name() != "dev0" || b.Kind() != KindSSD || b.Capacity() != 1000 {
+		t.Fatal("identity wrong")
+	}
+	if b.Used() != 0 || b.FreeSpaceRatio() != 1 {
+		t.Fatal("fresh device not empty")
+	}
+	b.SetUsed(250)
+	if b.Used() != 250 || b.FreeSpaceRatio() != 0.75 {
+		t.Fatalf("used=%d free=%v", b.Used(), b.FreeSpaceRatio())
+	}
+	// Clamping.
+	b.SetUsed(-5)
+	if b.Used() != 0 {
+		t.Fatal("negative used not clamped")
+	}
+	b.SetUsed(2000)
+	if b.Used() != 1000 || b.FreeSpaceRatio() != 0 {
+		t.Fatal("over-capacity used not clamped")
+	}
+}
+
+func TestBaseZeroCapacity(t *testing.T) {
+	b := NewBase("z", KindHDD, 0)
+	if b.FreeSpaceRatio() != 0 {
+		t.Fatal("zero-capacity free ratio should be 0")
+	}
+}
+
+func TestMetricsObserve(t *testing.T) {
+	m := NewMetrics("dev")
+	r := &trace.IORequest{Op: trace.OpRead, Size: 4096, Issue: 0, Complete: 100_000}
+	m.Observe(r)
+	w := &trace.IORequest{Op: trace.OpWrite, Size: 8192, Issue: 0, Complete: 300_000}
+	m.Observe(w)
+	if m.TotalReads != 1 || m.TotalWrites != 1 || m.TotalBytes != 12288 {
+		t.Fatalf("counters: %d/%d/%d", m.TotalReads, m.TotalWrites, m.TotalBytes)
+	}
+	// 100us and 300us → mean 200us.
+	if m.Lifetime.Mean() != 200 {
+		t.Fatalf("lifetime mean = %v", m.Lifetime.Mean())
+	}
+	if m.WindowMeanLatencyUS() != 200 || m.WindowRequests() != 2 {
+		t.Fatalf("window: %v / %d", m.WindowMeanLatencyUS(), m.WindowRequests())
+	}
+}
+
+func TestMetricsWindowReset(t *testing.T) {
+	m := NewMetrics("dev")
+	m.Observe(&trace.IORequest{Op: trace.OpRead, Size: 4096, Issue: 0, Complete: 1000})
+	m.AddContention(5)
+	m.ResetWindow(42)
+	if m.WindowRequests() != 0 || m.WindowMeanLatencyUS() != 0 {
+		t.Fatal("window not reset")
+	}
+	if m.ContentionUS != 0 {
+		t.Fatal("window contention not reset")
+	}
+	if m.LifetimeContentionUS != 5 {
+		t.Fatal("lifetime contention lost on window reset")
+	}
+	if m.WindowStart() != 42 {
+		t.Fatalf("window start = %v", m.WindowStart())
+	}
+	if m.TotalReads != 1 || m.Lifetime.N() != 1 {
+		t.Fatal("lifetime stats lost on window reset")
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := NewMetrics("mydev")
+	s := m.String()
+	if !strings.Contains(s, "mydev") {
+		t.Fatalf("string missing name: %s", s)
+	}
+}
+
+// Property: FreeSpaceRatio stays in [0,1] for any SetUsed input.
+func TestFreeSpaceRatioBoundsProperty(t *testing.T) {
+	b := NewBase("p", KindNVDIMM, 1<<30)
+	f := func(used int64) bool {
+		b.SetUsed(used)
+		r := b.FreeSpaceRatio()
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package dram models a DDR3-1600 DRAM DIMM at command granularity: ranks,
+// banks, open-row state, the Table 4 timing parameters, and periodic
+// refresh. Its purpose in this reproduction is to occupy the shared memory
+// channel realistically so that NVDIMM transfers experience contention —
+// the substrate DRAMSim2 provided in the paper's testbed.
+package dram
+
+import (
+	"repro/internal/bus"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Timing parameters from Table 4 (DDR3-1600), rounded to the engine's
+// nanosecond resolution (13.75 → 14, 18.75 → 19).
+const (
+	// TRCD is the activate-to-read/write delay (Table 4: 13.75 ns).
+	TRCD = 14 * sim.Nanosecond
+	// TRTP is the read/write-to-precharge delay (Table 4: 18.75 ns).
+	TRTP = 19 * sim.Nanosecond
+	// TRP is the precharge time (Table 4: 13.75 ns).
+	TRP = 14 * sim.Nanosecond
+	// TCL is the CAS latency (DDR3-1600 CL11 ≈ 13.75 ns).
+	TCL = 14 * sim.Nanosecond
+	// BurstTime is the data-burst occupancy of one 64-byte cacheline at
+	// 12.8 GB/s (5 ns).
+	BurstTime = 5 * sim.Nanosecond
+	// RefreshPeriod is the all-rows refresh period (Table 4: 64 ms).
+	RefreshPeriod = 64 * sim.Millisecond
+	// RefreshRowTime is the per-row refresh blackout (Table 4: 110 ns).
+	RefreshRowTime = 110 * sim.Nanosecond
+	// RowsPerBank gives tREFI = RefreshPeriod / RowsPerBank.
+	RowsPerBank = 8192
+)
+
+// tREFI is the interval between row refreshes.
+const tREFI = RefreshPeriod / RowsPerBank
+
+// Geometry from Table 4: 8 GB, 4 ranks × 8 banks.
+const (
+	NumRanks = 4
+	NumBanks = 8
+)
+
+// bank tracks one DRAM bank's row-buffer state.
+type bank struct {
+	openRow   int64 // -1 when closed
+	readyAt   sim.Time
+	rowHits   uint64
+	rowMisses uint64
+}
+
+// Config parameterizes a DIMM.
+type Config struct {
+	// CapacityBytes is the DIMM capacity (default 8 GB).
+	CapacityBytes int64
+}
+
+// DefaultConfig returns the Table 4 DIMM configuration.
+func DefaultConfig() Config {
+	return Config{CapacityBytes: 8 << 30}
+}
+
+// DIMM is one DRAM module on a memory channel.
+type DIMM struct {
+	eng     *sim.Engine
+	channel *bus.Channel
+	cfg     Config
+	banks   [NumRanks][NumBanks]bank
+	// latency statistics in nanoseconds
+	latency   stats.Summary
+	intensity trace.MemIntensity
+	served    uint64
+}
+
+// New creates a DIMM attached to the given channel.
+func New(eng *sim.Engine, ch *bus.Channel, cfg Config) *DIMM {
+	d := &DIMM{eng: eng, channel: ch, cfg: cfg}
+	for r := range d.banks {
+		for b := range d.banks[r] {
+			d.banks[r][b].openRow = -1
+		}
+	}
+	return d
+}
+
+// mapAddr decomposes a physical address into rank, bank, row. Bits [6,8)
+// select the channel upstream; [8,11) bank, [11,13) rank, remainder row.
+func mapAddr(addr uint64) (rank, bnk int, row int64) {
+	bnk = int((addr >> 8) & (NumBanks - 1))
+	rank = int((addr >> 11) & (NumRanks - 1))
+	row = int64(addr >> 13)
+	return
+}
+
+// refreshDelay returns the extra delay if t collides with the bank's
+// periodic refresh window.
+func refreshDelay(t sim.Time) sim.Time {
+	phase := t % tREFI
+	if phase < RefreshRowTime {
+		return RefreshRowTime - phase
+	}
+	return 0
+}
+
+// Access serves one memory request; done runs at completion time with the
+// total latency.
+func (d *DIMM) Access(req trace.MemRequest, done func(lat sim.Time)) {
+	d.AccessBurst(req, 1, done)
+}
+
+// AccessBurst serves a burst of n consecutive cacheline accesses as a
+// single scheduling unit: bank preparation is paid once and the channel is
+// held for n data bursts. Traffic generators use this to aggregate heavy
+// memory streams (one event per n cachelines) while preserving channel
+// occupancy — the quantity bus contention depends on.
+func (d *DIMM) AccessBurst(req trace.MemRequest, n int, done func(lat sim.Time)) {
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		d.intensity.Observe(req)
+	}
+	rank, b, row := mapAddr(req.Addr)
+	bk := &d.banks[rank][b]
+
+	now := d.eng.Now()
+	start := now
+	if bk.readyAt > start {
+		start = bk.readyAt
+	}
+	start += refreshDelay(start)
+
+	// Row-buffer management: open-page policy.
+	var prep sim.Time
+	switch {
+	case bk.openRow == row:
+		prep = 0
+		bk.rowHits++
+	case bk.openRow < 0:
+		prep = TRCD
+		bk.rowMisses++
+	default:
+		prep = TRTP + TRP + TRCD
+		bk.rowMisses++
+	}
+	bk.openRow = row
+	colReady := start + prep
+
+	// The data burst occupies the shared channel; contend for it.
+	hold := sim.Time(n) * BurstTime
+	d.eng.At(colReady, func() {
+		d.channel.Acquire(bus.PriMem, hold, func(burstStart sim.Time) {
+			finish := burstStart + TCL + hold
+			bk.readyAt = finish
+			issueAt := req.At
+			if issueAt == 0 {
+				issueAt = now
+			}
+			lat := finish - issueAt
+			d.latency.Add(float64(lat))
+			d.served += uint64(n)
+			if done != nil {
+				d.eng.At(finish, func() { done(lat) })
+			}
+		})
+	})
+}
+
+// Served returns the number of requests completed.
+func (d *DIMM) Served() uint64 { return d.served }
+
+// MeanLatencyNS returns mean access latency in nanoseconds.
+func (d *DIMM) MeanLatencyNS() float64 { return d.latency.Mean() }
+
+// RowHitRate returns row-buffer hits / (hits+misses) across all banks.
+func (d *DIMM) RowHitRate() float64 {
+	var h, m uint64
+	for r := range d.banks {
+		for b := range d.banks[r] {
+			h += d.banks[r][b].rowHits
+			m += d.banks[r][b].rowMisses
+		}
+	}
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Intensity returns the read/write counters accumulated since the last
+// reset (the memory-intensity signal of Fig. 4).
+func (d *DIMM) Intensity() *trace.MemIntensity { return &d.intensity }
+
+// Capacity returns the DIMM capacity in bytes.
+func (d *DIMM) Capacity() int64 { return d.cfg.CapacityBytes }

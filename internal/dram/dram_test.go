@@ -1,0 +1,173 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func newDIMM() (*sim.Engine, *DIMM) {
+	eng := sim.NewEngine()
+	ch := bus.NewChannel(eng, 0)
+	return eng, New(eng, ch, DefaultConfig())
+}
+
+func TestAccessCompletes(t *testing.T) {
+	eng, d := newDIMM()
+	// Start past the t=0 refresh blackout so timing is pure bank latency.
+	eng.RunUntil(200)
+	var lat sim.Time = -1
+	d.Access(trace.MemRequest{Op: trace.MemRead, Addr: 0x1000, At: 200}, func(l sim.Time) { lat = l })
+	eng.Run()
+	if lat < 0 {
+		t.Fatal("access never completed")
+	}
+	// Closed bank: tRCD + tCL + burst.
+	want := TRCD + TCL + BurstTime
+	if lat != want {
+		t.Fatalf("first-access latency = %v, want %v", lat, want)
+	}
+	if d.Served() != 1 {
+		t.Fatalf("served = %d", d.Served())
+	}
+}
+
+func TestAccessAtZeroIncludesRefresh(t *testing.T) {
+	eng, d := newDIMM()
+	var lat sim.Time = -1
+	d.Access(trace.MemRequest{Op: trace.MemRead, Addr: 0x1000, At: 0}, func(l sim.Time) { lat = l })
+	eng.Run()
+	want := RefreshRowTime + TRCD + TCL + BurstTime
+	if lat != want {
+		t.Fatalf("latency during refresh blackout = %v, want %v", lat, want)
+	}
+}
+
+func TestRowHitFasterThanConflict(t *testing.T) {
+	eng, d := newDIMM()
+	var latencies []sim.Time
+	record := func(l sim.Time) { latencies = append(latencies, l) }
+
+	base := uint64(0x10000)
+	d.Access(trace.MemRequest{Op: trace.MemRead, Addr: base, At: 0}, record)
+	eng.Run()
+
+	// Same row (same upper bits): row hit.
+	at := eng.Now()
+	d.Access(trace.MemRequest{Op: trace.MemRead, Addr: base + 64, At: at}, record)
+	eng.Run()
+
+	// Different row, same bank (flip row bits above bit 13).
+	at = eng.Now()
+	d.Access(trace.MemRequest{Op: trace.MemRead, Addr: base + (1 << 20), At: at}, record)
+	eng.Run()
+
+	if len(latencies) != 3 {
+		t.Fatalf("completed %d accesses", len(latencies))
+	}
+	hit, conflict := latencies[1], latencies[2]
+	if hit >= conflict {
+		t.Fatalf("row hit (%v) not faster than row conflict (%v)", hit, conflict)
+	}
+	if d.RowHitRate() <= 0 || d.RowHitRate() >= 1 {
+		t.Fatalf("row hit rate = %v, want in (0,1)", d.RowHitRate())
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	// Two requests to different banks should overlap more than two to the
+	// same bank row-conflicting.
+	run := func(addr2 uint64) sim.Time {
+		eng, d := newDIMM()
+		doneCount := 0
+		d.Access(trace.MemRequest{Op: trace.MemRead, Addr: 0, At: 0}, func(sim.Time) { doneCount++ })
+		d.Access(trace.MemRequest{Op: trace.MemRead, Addr: addr2, At: 0}, func(sim.Time) { doneCount++ })
+		eng.Run()
+		if doneCount != 2 {
+			t.Fatalf("only %d completed", doneCount)
+		}
+		return eng.Now()
+	}
+	sameBankDiffRow := run(1 << 20) // same bank (bits 8-10 zero), different row
+	diffBank := run(1 << 8)         // bank 1
+	if diffBank >= sameBankDiffRow {
+		t.Fatalf("different banks (%v) should finish before same-bank conflict (%v)",
+			diffBank, sameBankDiffRow)
+	}
+}
+
+func TestIntensityTracking(t *testing.T) {
+	eng, d := newDIMM()
+	d.Access(trace.MemRequest{Op: trace.MemRead, Addr: 0}, nil)
+	d.Access(trace.MemRequest{Op: trace.MemWrite, Addr: 64}, nil)
+	d.Access(trace.MemRequest{Op: trace.MemWrite, Addr: 128}, nil)
+	eng.Run()
+	if d.Intensity().Reads() != 1 || d.Intensity().Writes() != 2 {
+		t.Fatalf("intensity = %d reads / %d writes", d.Intensity().Reads(), d.Intensity().Writes())
+	}
+}
+
+func TestMapAddr(t *testing.T) {
+	rank, bnk, row := mapAddr(0)
+	if rank != 0 || bnk != 0 || row != 0 {
+		t.Fatalf("mapAddr(0) = %d,%d,%d", rank, bnk, row)
+	}
+	_, bnk, _ = mapAddr(1 << 8)
+	if bnk != 1 {
+		t.Fatalf("bank bit wrong: %d", bnk)
+	}
+	rank, _, _ = mapAddr(1 << 11)
+	if rank != 1 {
+		t.Fatalf("rank bit wrong: %d", rank)
+	}
+	_, _, row = mapAddr(1 << 13)
+	if row != 1 {
+		t.Fatalf("row bits wrong: %d", row)
+	}
+}
+
+func TestRefreshDelay(t *testing.T) {
+	// At phase 0 the bank is mid-refresh: full blackout remains.
+	if got := refreshDelay(0); got != RefreshRowTime {
+		t.Fatalf("refreshDelay(0) = %v, want %v", got, RefreshRowTime)
+	}
+	// Just past the blackout there is no delay.
+	if got := refreshDelay(RefreshRowTime); got != 0 {
+		t.Fatalf("refreshDelay(end) = %v, want 0", got)
+	}
+	// Next interval blacks out again.
+	if got := refreshDelay(tREFI); got != RefreshRowTime {
+		t.Fatalf("refreshDelay(tREFI) = %v, want %v", got, RefreshRowTime)
+	}
+}
+
+func TestMeanLatencyAccumulates(t *testing.T) {
+	eng, d := newDIMM()
+	for i := 0; i < 50; i++ {
+		d.Access(trace.MemRequest{Op: trace.MemRead, Addr: uint64(i) << 13, At: eng.Now()}, nil)
+	}
+	eng.Run()
+	if d.MeanLatencyNS() <= 0 {
+		t.Fatal("mean latency not recorded")
+	}
+	if d.Capacity() != 8<<30 {
+		t.Fatalf("capacity = %d", d.Capacity())
+	}
+}
+
+func TestChannelContentionSlowsDRAM(t *testing.T) {
+	// If the channel is held by a long IO transfer, DRAM access stretches.
+	eng := sim.NewEngine()
+	ch := bus.NewChannel(eng, 0)
+	d := New(eng, ch, DefaultConfig())
+	// Hold the channel with a long IO transfer first.
+	ch.Acquire(bus.PriIO, 10*sim.Microsecond, func(sim.Time) {})
+	var lat sim.Time
+	d.Access(trace.MemRequest{Op: trace.MemRead, Addr: 0, At: 0}, func(l sim.Time) { lat = l })
+	eng.Run()
+	if lat < 10*sim.Microsecond {
+		t.Fatalf("DRAM access latency %v should include waiting for the 10us IO hold", lat)
+	}
+}

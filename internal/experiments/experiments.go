@@ -1,0 +1,135 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3, §4.5, §6). Each function runs the corresponding
+// experiment on the simulation substrate and returns a structured result
+// whose String method prints the same rows/series the paper reports.
+//
+// Absolute numbers differ from the paper (scaled devices, synthetic
+// workloads, compressed time); the *shapes* — who wins, rough factors,
+// orderings — are the reproduction target. EXPERIMENTS.md records
+// paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mgmt"
+	"repro/internal/sim"
+)
+
+// Scale selects how long experiments run. Quick keeps everything in
+// test-friendly wall time; Full runs longer windows for smoother curves.
+type Scale struct {
+	// RunTime is the simulated duration of management-scheme runs.
+	RunTime sim.Time
+	// SweepWindow is the per-point window for device sweeps (Fig. 5).
+	SweepWindow sim.Time
+	// SeriesWindows is the number of samples for time series (Figs. 4, 7, 15).
+	SeriesWindows int
+	// FootprintDivisor scales application footprints; short runs use
+	// smaller VMDKs so migrations can complete within the run.
+	FootprintDivisor int64
+}
+
+// Quick returns the scale used by tests and benches.
+func Quick() Scale {
+	return Scale{RunTime: 400 * sim.Millisecond, SweepWindow: 4 * sim.Millisecond, SeriesWindows: 12, FootprintDivisor: 1024}
+}
+
+// Full returns the scale used by cmd/experiments for report-quality runs.
+func Full() Scale {
+	return Scale{RunTime: 1500 * sim.Millisecond, SweepWindow: 10 * sim.Millisecond, SeriesWindows: 30, FootprintDivisor: 512}
+}
+
+// table is a tiny text-table builder shared by result formatters.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// mgmtCfg is the management configuration used by the scheme-comparison
+// experiments: 10 ms windows so each co-runner phase flip (20 ms period)
+// lands in its own measurement window — the paper's misprediction
+// mechanism — with just enough hysteresis to keep copies bounded.
+func mgmtCfg() mgmt.Config {
+	cfg := mgmt.DefaultConfig()
+	cfg.Window = 10 * sim.Millisecond
+	cfg.MinWindowRequests = 3
+	cfg.MinResidenceWindows = 4
+	cfg.DebounceWindows = 2
+	cfg.MaxConcurrentMigrations = 2
+	cfg.CopyDepth = 8
+	return cfg
+}
+
+func pct(x float64) string   { return fmt.Sprintf("%.0f%%", x*100) }
+func us(x float64) string    { return fmt.Sprintf("%.1fus", x) }
+func ratio(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// sparkline renders a series as unicode block characters, normalized to
+// the series maximum — a compact plot for the time-series figures.
+func sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	maxV := 0.0
+	for _, x := range xs {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		i := 0
+		if maxV > 0 {
+			i = int(x / maxV * float64(len(blocks)-1))
+		}
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(blocks) {
+			i = len(blocks) - 1
+		}
+		b.WriteRune(blocks[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mgmt"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+)
+
+// Fig12Mix names one workload mix of Fig. 12.
+type Fig12Mix struct {
+	Label      string
+	MemProfile string
+	Nodes      int
+}
+
+// Fig12Mixes returns the four paper mixes.
+func Fig12Mixes() []Fig12Mix {
+	return []Fig12Mix{
+		{"big data + 429.mcf (single node)", "429.mcf", 1},
+		{"big data + 429.mcf (multiple nodes)", "429.mcf", 3},
+		{"big data + 470.lbm (single node)", "470.lbm", 1},
+		{"big data + 433.milc (single node)", "433.milc", 1},
+	}
+}
+
+// Fig12SchemeResult is one scheme's outcome on one mix.
+type Fig12SchemeResult struct {
+	Scheme string
+	// NormalizedLatency maps device → latency / slowest-device latency.
+	NormalizedLatency map[string]float64
+	// MeanLatencyUS is the request-weighted mean across devices.
+	MeanLatencyUS float64
+	Migration     mgmt.Stats
+}
+
+// Fig12MixResult is all schemes on one mix.
+type Fig12MixResult struct {
+	Mix     Fig12Mix
+	Schemes []Fig12SchemeResult
+	// BCAImprovement maps baseline name → (baseline − BCA)/baseline mean
+	// latency improvement.
+	BCAImprovement map[string]float64
+}
+
+// Fig12Result reproduces Fig. 12.
+type Fig12Result struct {
+	Mixes []Fig12MixResult
+}
+
+// fig12Schemes is the Fig. 12 lineup.
+func fig12Schemes() []mgmt.Scheme {
+	return []mgmt.Scheme{mgmt.BASIL(), mgmt.Pesto(), mgmt.LightSRM(), mgmt.BCA()}
+}
+
+// Fig12 runs the Bus-Contention-Aware management comparison.
+func Fig12(scale Scale, model *perfmodel.Model) (Fig12Result, error) {
+	var res Fig12Result
+	for _, mix := range Fig12Mixes() {
+		mr := Fig12MixResult{Mix: mix, BCAImprovement: make(map[string]float64)}
+		for _, sch := range fig12Schemes() {
+			sys, err := core.NewSystem(core.Options{
+				Nodes:            mix.Nodes,
+				Scheme:           sch,
+				MemProfile:       mix.MemProfile,
+				MemScale:         4, // multi-core-class interference
+				Mgmt:             mgmtCfg(),
+				MemPhasePeriod:   80 * sim.Millisecond,
+				Seed:             31,
+				Model:            model,
+				FootprintDivisor: scale.FootprintDivisor,
+				NoHDDPlacement:   true,
+			})
+			if err != nil {
+				return res, err
+			}
+			sys.Run(scale.RunTime)
+			rep := sys.Report()
+			mr.Schemes = append(mr.Schemes, Fig12SchemeResult{
+				Scheme:            sch.Name,
+				NormalizedLatency: rep.NormalizedLatency,
+				MeanLatencyUS:     rep.MeanLatencyUS,
+				Migration:         rep.Migration,
+			})
+		}
+		bca := mr.Schemes[len(mr.Schemes)-1]
+		for _, s := range mr.Schemes[:len(mr.Schemes)-1] {
+			if s.MeanLatencyUS > 0 {
+				mr.BCAImprovement[s.Scheme] = (s.MeanLatencyUS - bca.MeanLatencyUS) / s.MeanLatencyUS
+			}
+		}
+		res.Mixes = append(res.Mixes, mr)
+	}
+	return res, nil
+}
+
+func (r Fig12Result) String() string {
+	out := "Fig. 12: device performance under BCA vs baselines\n"
+	for _, mr := range r.Mixes {
+		out += "\n" + mr.Mix.Label + "\n"
+		t := &table{header: []string{"scheme", "mean latency", "migrations", "ping-pongs"}}
+		for _, s := range mr.Schemes {
+			t.add(s.Scheme, us(s.MeanLatencyUS),
+				fmt.Sprintf("%d", s.Migration.MigrationsStarted),
+				fmt.Sprintf("%d", s.Migration.PingPongs))
+		}
+		out += t.String()
+		keys := make([]string, 0, len(mr.BCAImprovement))
+		for k := range mr.BCAImprovement {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			out += fmt.Sprintf("BCA improvement vs %s: %s\n", k, pct(mr.BCAImprovement[k]))
+		}
+	}
+	return out
+}
+
+// Fig13Row is one scheme's migration overhead.
+type Fig13Row struct {
+	Scheme        string
+	Nodes         int
+	MigrationTime sim.Time
+	BytesCopied   int64
+	BytesMirrored int64
+	// Normalized is migration time / BASIL's.
+	Normalized float64
+}
+
+// Fig13Result reproduces Fig. 13: total normalized migration time.
+type Fig13Result struct {
+	Rows []Fig13Row
+}
+
+// Fig13 compares migration overheads including the lazy scheme.
+func Fig13(scale Scale, model *perfmodel.Model) (Fig13Result, error) {
+	var res Fig13Result
+	schemes := []mgmt.Scheme{mgmt.BASIL(), mgmt.Pesto(), mgmt.LightSRM(), mgmt.BCA(), mgmt.BCALazy()}
+	for _, nodes := range []int{1, 3} {
+		var basilTime sim.Time
+		for _, sch := range schemes {
+			sys, err := core.NewSystem(core.Options{
+				Nodes:            nodes,
+				Scheme:           sch,
+				MemProfile:       "429.mcf",
+				MemScale:         4,
+				Mgmt:             mgmtCfg(),
+				MemPhasePeriod:   80 * sim.Millisecond,
+				Seed:             31,
+				Model:            model,
+				FootprintDivisor: scale.FootprintDivisor,
+				NoHDDPlacement:   true,
+			})
+			if err != nil {
+				return res, err
+			}
+			sys.Run(scale.RunTime)
+			st := sys.Manager.Stats()
+			row := Fig13Row{
+				Scheme: sch.Name, Nodes: nodes,
+				MigrationTime: st.MigrationTime,
+				BytesCopied:   st.BytesCopied,
+				BytesMirrored: st.BytesMirrored,
+			}
+			if sch.Name == "BASIL" {
+				basilTime = st.MigrationTime
+			}
+			if basilTime > 0 {
+				row.Normalized = float64(row.MigrationTime) / float64(basilTime)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func (r Fig13Result) String() string {
+	t := &table{header: []string{"nodes", "scheme", "migration time", "normalized", "copied", "mirrored"}}
+	for _, row := range r.Rows {
+		t.add(fmt.Sprintf("%d", row.Nodes), row.Scheme, row.MigrationTime.String(),
+			ratio(row.Normalized),
+			fmt.Sprintf("%dMB", row.BytesCopied>>20),
+			fmt.Sprintf("%dMB", row.BytesMirrored>>20))
+	}
+	return "Fig. 13: migration overhead (normalized to BASIL)\n" + t.String()
+}
+
+// TauRow is one τ setting's outcome (§6.2.1 threshold sweep).
+type TauRow struct {
+	Tau           float64
+	MigrationTime sim.Time
+	Migrations    uint64
+	MeanLatencyUS float64
+}
+
+// TauSweepResult reproduces the §6.2.1 τ sensitivity study.
+type TauSweepResult struct {
+	Rows []TauRow
+}
+
+// TauSweep varies τ from 0.2 to 0.8 under the BASIL scheme in the Fig. 12
+// interference scenario, where the threshold visibly gates how often the
+// contention-inflated imbalance triggers (§6.2.1).
+func TauSweep(scale Scale, model *perfmodel.Model) (TauSweepResult, error) {
+	var res TauSweepResult
+	for _, tau := range []float64{0.2, 0.35, 0.5, 0.65, 0.8} {
+		cfg := mgmtCfg()
+		cfg.Tau = tau
+		sys, err := core.NewSystem(core.Options{
+			Scheme:           mgmt.BASIL(),
+			Mgmt:             cfg,
+			MemProfile:       "429.mcf",
+			MemScale:         4,
+			MemPhasePeriod:   80 * sim.Millisecond,
+			Seed:             31,
+			Model:            model,
+			FootprintDivisor: scale.FootprintDivisor,
+			NoHDDPlacement:   true,
+		})
+		if err != nil {
+			return res, err
+		}
+		sys.Run(scale.RunTime)
+		rep := sys.Report()
+		res.Rows = append(res.Rows, TauRow{
+			Tau:           tau,
+			MigrationTime: rep.Migration.MigrationTime,
+			Migrations:    rep.Migration.MigrationsStarted,
+			MeanLatencyUS: rep.MeanLatencyUS,
+		})
+	}
+	return res, nil
+}
+
+func (r TauSweepResult) String() string {
+	t := &table{header: []string{"tau", "migrations", "migration time", "mean latency"}}
+	for _, row := range r.Rows {
+		t.add(fmt.Sprintf("%.2f", row.Tau), fmt.Sprintf("%d", row.Migrations),
+			row.MigrationTime.String(), us(row.MeanLatencyUS))
+	}
+	return "τ sweep (§6.2.1)\n" + t.String()
+}

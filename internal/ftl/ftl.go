@@ -1,0 +1,427 @@
+// Package ftl implements a page-level flash translation layer (NFTL-style,
+// paper ref [1]) on top of the flash array: logical-to-physical page
+// mapping, sequential page allocation striped across channels, greedy
+// garbage collection, and free-space accounting.
+//
+// GC cost is paid in simulated flash operations, so the write-cliff
+// behaviour the paper's free_space_ratio feature captures (§4.2) emerges
+// naturally: at low free space GC victims are mostly valid, each reclaim
+// moves many pages, and foreground writes stall behind the reclaim chain.
+package ftl
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the FTL.
+type Config struct {
+	// NumBlocks is the number of physical flash blocks managed.
+	NumBlocks int
+	// OverProvision is the fraction of physical space hidden from the
+	// logical address space (default 0.07).
+	OverProvision float64
+	// GCLowWater triggers GC when the free-block count drops to or below
+	// this value (default 4).
+	GCLowWater int
+	// WearAware biases GC victim selection toward low-erase-count blocks
+	// when invalid counts tie, spreading erases across the device (the
+	// wear-leveling the paper defers to future work, §4.2).
+	WearAware bool
+}
+
+// DefaultConfig sizes the FTL to manage the given number of physical
+// blocks with 7% over-provisioning.
+func DefaultConfig(numBlocks int) Config {
+	return Config{NumBlocks: numBlocks, OverProvision: 0.07, GCLowWater: 4}
+}
+
+// blockState tracks the lifecycle of a physical block.
+type blockState uint8
+
+const (
+	blockFree blockState = iota
+	blockActive
+	blockFull
+)
+
+// block is one physical flash block's metadata.
+type block struct {
+	state    blockState
+	valid    int // currently valid pages
+	writeIdx int // next page slot to program
+	erases   int // lifetime erase count (wear)
+}
+
+// FTL is the translation layer. It is single-goroutine like everything on
+// the simulation engine.
+type FTL struct {
+	eng *sim.Engine
+	fl  *flash.Array
+	cfg Config
+
+	pagesPerBlock int
+	totalPages    int64
+	logicalPages  int64
+
+	l2p    map[int64]int64 // lpn → ppn
+	p2l    map[int64]int64 // ppn → lpn (valid pages only)
+	blocks []block
+	free   []int // free block indices (LIFO)
+
+	userActive int // active block for foreground writes (-1 none)
+	gcActive   int // active block for GC relocation (-1 none)
+
+	gcRunning bool
+	pending   []func() // writes waiting for a free block during GC
+	// fullValidGCs counts consecutive GC cycles whose victim was 100%
+	// valid (zero net reclaim). A long run means the logical space is
+	// saturated — the device is mis-sized — and the simulation would
+	// thrash forever; fail loudly instead.
+	fullValidGCs int
+
+	// Statistics.
+	userWrites uint64
+	gcWrites   uint64
+	gcReads    uint64
+	erases     uint64
+	gcRuns     uint64
+}
+
+// New creates an FTL over the array. It panics on invalid configuration.
+func New(eng *sim.Engine, fl *flash.Array, cfg Config) *FTL {
+	if cfg.NumBlocks <= cfg.GCLowWater+2 {
+		panic(fmt.Sprintf("ftl: NumBlocks %d too small for low water %d", cfg.NumBlocks, cfg.GCLowWater))
+	}
+	if cfg.OverProvision < 0 || cfg.OverProvision >= 0.5 {
+		panic("ftl: over-provision out of range")
+	}
+	if cfg.GCLowWater < 1 {
+		cfg.GCLowWater = 1
+	}
+	ppb := fl.Config().PagesPerBlock
+	total := int64(cfg.NumBlocks) * int64(ppb)
+	f := &FTL{
+		eng:           eng,
+		fl:            fl,
+		cfg:           cfg,
+		pagesPerBlock: ppb,
+		totalPages:    total,
+		logicalPages:  int64(float64(total) * (1 - cfg.OverProvision)),
+		l2p:           make(map[int64]int64),
+		p2l:           make(map[int64]int64),
+		blocks:        make([]block, cfg.NumBlocks),
+		userActive:    -1,
+		gcActive:      -1,
+	}
+	for i := cfg.NumBlocks - 1; i >= 0; i-- {
+		f.free = append(f.free, i)
+	}
+	return f
+}
+
+// LogicalPages returns the logical address space size in pages.
+func (f *FTL) LogicalPages() int64 { return f.logicalPages }
+
+// PageSize returns the flash page size in bytes.
+func (f *FTL) PageSize() int64 { return f.fl.Config().PageSize }
+
+// mapLPN folds any LPN into the logical address space.
+func (f *FTL) mapLPN(lpn int64) int64 {
+	if lpn < 0 {
+		lpn = -lpn
+	}
+	return lpn % f.logicalPages
+}
+
+// Read serves a logical page read; done fires when the data is at the
+// controller. Unmapped LPNs are served as a flash read of the
+// deterministic resident page (modelling pre-existing data).
+func (f *FTL) Read(lpn int64, done func()) {
+	lpn = f.mapLPN(lpn)
+	ppn, ok := f.l2p[lpn]
+	if !ok {
+		ppn = lpn % f.totalPages
+	}
+	f.fl.ReadPage(ppn, done)
+}
+
+// Write serves a logical page write; done fires when the program
+// completes. If the FTL is out of free blocks the write queues behind GC.
+func (f *FTL) Write(lpn int64, done func()) {
+	lpn = f.mapLPN(lpn)
+	f.writeMapped(lpn, done)
+}
+
+func (f *FTL) writeMapped(lpn int64, done func()) {
+	ppn, ok := f.allocPage(false)
+	if !ok {
+		// No space right now; retry when GC frees a block.
+		f.pending = append(f.pending, func() { f.writeMapped(lpn, done) })
+		f.maybeGC()
+		return
+	}
+	f.invalidate(lpn)
+	f.commit(lpn, ppn)
+	f.userWrites++
+	f.fl.WritePage(ppn, done)
+	f.maybeGC()
+}
+
+// invalidate drops the current mapping of lpn, if any.
+func (f *FTL) invalidate(lpn int64) {
+	if old, ok := f.l2p[lpn]; ok {
+		delete(f.p2l, old)
+		delete(f.l2p, lpn)
+		b := int(old / int64(f.pagesPerBlock))
+		if f.blocks[b].valid > 0 {
+			f.blocks[b].valid--
+		}
+	}
+}
+
+// commit installs lpn → ppn.
+func (f *FTL) commit(lpn, ppn int64) {
+	f.l2p[lpn] = ppn
+	f.p2l[ppn] = lpn
+	f.blocks[ppn/int64(f.pagesPerBlock)].valid++
+}
+
+// allocPage returns the next free physical page from the user (or GC)
+// active block, opening a new block when needed. ok is false when no free
+// block is available.
+func (f *FTL) allocPage(forGC bool) (ppn int64, ok bool) {
+	act := &f.userActive
+	if forGC {
+		act = &f.gcActive
+	}
+	if *act >= 0 && f.blocks[*act].writeIdx >= f.pagesPerBlock {
+		f.blocks[*act].state = blockFull
+		*act = -1
+	}
+	if *act < 0 {
+		// GC may always take the last block; user writes must leave one
+		// block in reserve so relocation can proceed.
+		minFree := 1
+		if forGC {
+			minFree = 0
+		}
+		if len(f.free) <= minFree {
+			return 0, false
+		}
+		b := f.free[len(f.free)-1]
+		f.free = f.free[:len(f.free)-1]
+		f.blocks[b].state = blockActive
+		f.blocks[b].valid = 0
+		f.blocks[b].writeIdx = 0
+		*act = b
+	}
+	b := *act
+	ppn = int64(b)*int64(f.pagesPerBlock) + int64(f.blocks[b].writeIdx)
+	f.blocks[b].writeIdx++
+	return ppn, true
+}
+
+// FreeBlocks returns the current free-block count.
+func (f *FTL) FreeBlocks() int { return len(f.free) }
+
+// UtilizedRatio returns valid pages / logical pages.
+func (f *FTL) UtilizedRatio() float64 {
+	return float64(int64(len(f.l2p))) / float64(f.logicalPages)
+}
+
+// FreeSpaceRatio returns 1 - UtilizedRatio, clamped to [0,1].
+func (f *FTL) FreeSpaceRatio() float64 {
+	r := 1 - f.UtilizedRatio()
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// maybeGC starts a garbage collection if free blocks are at or below the
+// low-water mark and no GC is running.
+func (f *FTL) maybeGC() {
+	if f.gcRunning || len(f.free) > f.cfg.GCLowWater {
+		return
+	}
+	victim := f.pickVictim()
+	if victim < 0 {
+		return
+	}
+	if f.blocks[victim].valid >= f.pagesPerBlock {
+		f.fullValidGCs++
+		if f.fullValidGCs > 4*f.cfg.NumBlocks {
+			panic(fmt.Sprintf(
+				"ftl: garbage collection cannot reclaim space (utilization %.2f); "+
+					"the device's physical blocks (%d) do not back its write footprint",
+				f.UtilizedRatio(), f.cfg.NumBlocks))
+		}
+	} else {
+		f.fullValidGCs = 0
+	}
+	f.gcRunning = true
+	f.gcRuns++
+	f.relocate(victim, f.collectValid(victim))
+}
+
+// pickVictim chooses the full block with the fewest valid pages (greedy).
+// With WearAware, erase count breaks ties (and mildly penalizes hot
+// blocks) so wear spreads instead of concentrating on a few blocks.
+func (f *FTL) pickVictim() int {
+	best := -1
+	bestScore := 1 << 30
+	for i := range f.blocks {
+		if f.blocks[i].state != blockFull {
+			continue
+		}
+		score := f.blocks[i].valid * 1024
+		if f.cfg.WearAware {
+			score += f.blocks[i].erases
+		}
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// collectValid lists the valid LPNs residing in block b.
+func (f *FTL) collectValid(b int) []int64 {
+	var lpns []int64
+	start := int64(b) * int64(f.pagesPerBlock)
+	for p := start; p < start+int64(f.pagesPerBlock); p++ {
+		if lpn, ok := f.p2l[p]; ok {
+			lpns = append(lpns, lpn)
+		}
+	}
+	return lpns
+}
+
+// relocate moves the listed pages out of victim one by one (read, then
+// program into the GC active block), then erases the victim and releases
+// it. The chain runs on simulated flash time, so foreground traffic feels
+// the reclaim — the write cliff.
+func (f *FTL) relocate(victim int, lpns []int64) {
+	if len(lpns) == 0 {
+		start := int64(victim) * int64(f.pagesPerBlock)
+		f.erases++
+		f.blocks[victim].erases++
+		f.fl.EraseBlock(start, func() {
+			f.blocks[victim].state = blockFree
+			f.blocks[victim].valid = 0
+			f.blocks[victim].writeIdx = 0
+			f.free = append(f.free, victim)
+			f.gcRunning = false
+			f.drainPending()
+			f.maybeGC()
+		})
+		return
+	}
+	lpn := lpns[0]
+	rest := lpns[1:]
+	old, ok := f.l2p[lpn]
+	if !ok {
+		// Invalidated while GC in flight; skip.
+		f.relocate(victim, rest)
+		return
+	}
+	f.gcReads++
+	f.fl.ReadPage(old, func() {
+		dst, ok := f.allocPage(true)
+		if !ok {
+			// Truly out of space: should be unreachable given the GC
+			// reserve invariant; fail loudly rather than deadlock.
+			panic("ftl: GC could not allocate a relocation page")
+		}
+		f.invalidate(lpn)
+		f.commit(lpn, dst)
+		f.gcWrites++
+		f.fl.WritePage(dst, func() {
+			f.relocate(victim, rest)
+		})
+	})
+}
+
+// drainPending re-issues writes that were waiting for space.
+func (f *FTL) drainPending() {
+	pend := f.pending
+	f.pending = nil
+	for _, fn := range pend {
+		fn()
+	}
+}
+
+// Prefill installs real mappings for the first ratio×LogicalPages LPNs
+// without consuming simulated time, modelling a device that already holds
+// data. Used by the free-space experiments (Fig. 7b).
+func (f *FTL) Prefill(ratio float64) {
+	if ratio < 0 {
+		ratio = 0
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	n := int64(ratio * float64(f.logicalPages))
+	for lpn := int64(0); lpn < n; lpn++ {
+		if _, ok := f.l2p[lpn]; ok {
+			continue
+		}
+		ppn, ok := f.allocPage(false)
+		if !ok {
+			break
+		}
+		f.commit(lpn, ppn)
+	}
+}
+
+// Stats reports FTL activity counters.
+type Stats struct {
+	UserWrites uint64
+	GCWrites   uint64
+	GCReads    uint64
+	Erases     uint64
+	GCRuns     uint64
+	FreeBlocks int
+}
+
+// Stats returns a snapshot of activity counters.
+func (f *FTL) Stats() Stats {
+	return Stats{
+		UserWrites: f.userWrites,
+		GCWrites:   f.gcWrites,
+		GCReads:    f.gcReads,
+		Erases:     f.erases,
+		GCRuns:     f.gcRuns,
+		FreeBlocks: len(f.free),
+	}
+}
+
+// WearSpread returns the maximum and minimum per-block erase counts — the
+// wear-leveling quality metric (smaller spread is better).
+func (f *FTL) WearSpread() (maxErases, minErases int) {
+	if len(f.blocks) == 0 {
+		return 0, 0
+	}
+	maxErases, minErases = f.blocks[0].erases, f.blocks[0].erases
+	for i := range f.blocks {
+		e := f.blocks[i].erases
+		if e > maxErases {
+			maxErases = e
+		}
+		if e < minErases {
+			minErases = e
+		}
+	}
+	return
+}
+
+// WriteAmplification returns (user+gc)/user writes, or 1 if no writes yet.
+func (f *FTL) WriteAmplification() float64 {
+	if f.userWrites == 0 {
+		return 1
+	}
+	return float64(f.userWrites+f.gcWrites) / float64(f.userWrites)
+}

@@ -1,0 +1,126 @@
+// Package hdd models the SATA rotational disk of Table 4 (1 TB, 7200 rpm,
+// SATA 6 Gb/s): distance-dependent seek, rotational latency, media-rate
+// transfer, and a single actuator that serves requests one at a time.
+// Random accesses pay seek + rotation, so latency grows linearly with read
+// randomness — the Fig. 5(c) characteristic.
+package hdd
+
+import (
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Mechanical constants (7200 rpm class drive).
+const (
+	// RotationPeriod is one revolution at 7200 rpm (≈8.33 ms).
+	RotationPeriod = 8333 * sim.Microsecond
+	// MinSeek is the track-to-track seek time.
+	MinSeek = 500 * sim.Microsecond
+	// MaxSeek is the full-stroke seek time.
+	MaxSeek = 10 * sim.Millisecond
+	// MediaRate is the sustained media transfer rate (bytes/sec).
+	MediaRate = int64(150) * 1000 * 1000
+	// SeqWindow is how close a request must start to the previous end to
+	// count as sequential (no seek, no rotation).
+	SeqWindow = 64 * 1024
+)
+
+// Config parameterizes an HDD.
+type Config struct {
+	Name     string
+	Capacity int64
+	Seed     uint64 // rotational-phase RNG seed
+}
+
+// DefaultConfig returns the Table 4 HDD.
+func DefaultConfig(name string) Config {
+	return Config{Name: name, Capacity: 1 << 40, Seed: 1}
+}
+
+// HDD is the device.
+type HDD struct {
+	device.Base
+	eng *sim.Engine
+	cfg Config
+	rng *sim.RNG
+
+	headPos     int64 // byte position of the head
+	busyUntil   sim.Time
+	outstanding int
+	seeks       uint64
+	seqHits     uint64
+}
+
+var _ device.Device = (*HDD)(nil)
+
+// New builds an HDD.
+func New(eng *sim.Engine, cfg Config) *HDD {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1 << 40
+	}
+	return &HDD{
+		Base: device.NewBase(cfg.Name, device.KindHDD, cfg.Capacity),
+		eng:  eng,
+		cfg:  cfg,
+		rng:  sim.NewRNG(cfg.Seed),
+	}
+}
+
+// Outstanding returns in-flight request count.
+func (h *HDD) Outstanding() int { return h.outstanding }
+
+// Seeks returns how many requests required a mechanical seek.
+func (h *HDD) Seeks() uint64 { return h.seeks }
+
+// SequentialHits returns how many requests streamed without seeking.
+func (h *HDD) SequentialHits() uint64 { return h.seqHits }
+
+// serviceTime computes the mechanical time for one request and advances
+// head state.
+func (h *HDD) serviceTime(r *trace.IORequest) sim.Time {
+	var t sim.Time
+	dist := r.Offset - h.headPos
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist > SeqWindow {
+		// Seek proportional to stroke distance, plus rotational latency.
+		frac := float64(dist) / float64(h.Capacity())
+		if frac > 1 {
+			frac = 1
+		}
+		t += MinSeek + sim.Time(frac*float64(MaxSeek-MinSeek))
+		t += sim.Time(h.rng.Int63n(int64(RotationPeriod)))
+		h.seeks++
+	} else {
+		h.seqHits++
+	}
+	// Media transfer.
+	if r.Size > 0 {
+		t += sim.Time(float64(r.Size) / float64(MediaRate) * 1e9)
+	}
+	h.headPos = r.Offset + r.Size
+	return t
+}
+
+// Submit implements device.Device. Requests serialize on the single
+// actuator in FIFO order.
+func (h *HDD) Submit(r *trace.IORequest, done device.Completion) {
+	r.Issue = h.eng.Now()
+	h.outstanding++
+	start := h.eng.Now()
+	if h.busyUntil > start {
+		start = h.busyUntil
+	}
+	finish := start + h.serviceTime(r)
+	h.busyUntil = finish
+	h.eng.At(finish, func() {
+		r.Complete = h.eng.Now()
+		h.outstanding--
+		h.Metrics().Observe(r)
+		if done != nil {
+			done(r)
+		}
+	})
+}

@@ -1,0 +1,341 @@
+// Package memsched implements the NVDIMM controller's transaction-queue
+// scheduling from paper §5.3.1 (Figs. 9 and 10): barrier-respecting FCFS
+// as the baseline, Policy One (migrated writes ignore persistence
+// barriers), Policy Two (persistent writes prioritized over migrated
+// writes, with same-location migrated writes discarded), and the
+// non-persistent barrier that bounds migrated-write delay under Policy
+// Two.
+//
+// The scheduler admits a bounded number of in-flight operations (one per
+// flash channel by default); ordering decisions therefore translate
+// directly into which request reserves flash time first.
+package memsched
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Policy selects the scheduling behaviour.
+type Policy struct {
+	// MigratedIgnoreBarriers is Policy One: migrated writes dispatch
+	// regardless of persistence barriers.
+	MigratedIgnoreBarriers bool
+	// PrioritizePersistent is Policy Two: ready persistent writes are
+	// chosen before ready migrated writes.
+	PrioritizePersistent bool
+	// NonPersistentBarrier bounds migrated-write delay under Policy Two:
+	// a migrated write that has waited at least NPBDelay is served ahead
+	// of persistent writes (Fig. 10).
+	NonPersistentBarrier bool
+	// NPBDelay is the "predefined earlier time period" after which the
+	// controller inserts a non-persistent barrier.
+	NPBDelay sim.Time
+}
+
+// Baseline returns barrier-respecting FCFS (Fig. 9a).
+func Baseline() Policy { return Policy{} }
+
+// PolicyOne returns the barrier-free-migrated policy (Fig. 9b).
+func PolicyOne() Policy { return Policy{MigratedIgnoreBarriers: true} }
+
+// PolicyTwo returns the persistent-priority policy (Fig. 9c).
+func PolicyTwo() Policy { return Policy{PrioritizePersistent: true} }
+
+// Combined returns Policy One + Policy Two with the non-persistent barrier
+// enabled at the given delay.
+func Combined(npbDelay sim.Time) Policy {
+	return Policy{
+		MigratedIgnoreBarriers: true,
+		PrioritizePersistent:   true,
+		NonPersistentBarrier:   true,
+		NPBDelay:               npbDelay,
+	}
+}
+
+// entryState tracks an entry through the queue.
+type entryState uint8
+
+const (
+	stateQueued entryState = iota
+	stateRunning
+	stateDone
+)
+
+// entry is one queued write.
+type entry struct {
+	seq      uint64
+	lpn      int64
+	class    trace.Class
+	epoch    int
+	enqueued sim.Time
+	run      func(done func())
+	done     func()
+	state    entryState
+}
+
+// barrierBound reports whether the entry must respect persistence
+// barriers under the policy.
+func (e *entry) barrierBound(p Policy) bool {
+	if e.class == trace.ClassMigrated && p.MigratedIgnoreBarriers {
+		return false
+	}
+	return true
+}
+
+// Stats reports scheduler activity.
+type Stats struct {
+	CompletedPersistent uint64
+	CompletedMigrated   uint64
+	DiscardedMigrated   uint64
+	NPBInsertions       uint64
+	Barriers            uint64
+	// Mean queueing delay (µs) by class.
+	PersistentWaitUS float64
+	MigratedWaitUS   float64
+}
+
+// Scheduler is the transaction-queue scheduler.
+type Scheduler struct {
+	eng    *sim.Engine
+	policy Policy
+	slots  int // max in-flight operations
+	used   int
+
+	queue []*entry
+	seq   uint64
+
+	curEpoch          int
+	epochOpen         map[int]int      // epoch → outstanding barrier-bound entries
+	minEpoch          int              // oldest epoch with outstanding barrier-bound entries
+	lastPersistentSeq map[int64]uint64 // lpn → seq of last dispatched persistent write
+
+	st      Stats
+	waitPer stats.Summary
+	waitMig stats.Summary
+}
+
+// New creates a scheduler dispatching at most slots concurrent operations.
+func New(eng *sim.Engine, policy Policy, slots int) *Scheduler {
+	if slots <= 0 {
+		panic("memsched: non-positive slot count")
+	}
+	if policy.NonPersistentBarrier && policy.NPBDelay <= 0 {
+		policy.NPBDelay = 100 * sim.Microsecond
+	}
+	return &Scheduler{
+		eng:               eng,
+		policy:            policy,
+		slots:             slots,
+		epochOpen:         make(map[int]int),
+		lastPersistentSeq: make(map[int64]uint64),
+	}
+}
+
+// Policy returns the active policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// EnqueueWrite queues a write to logical page lpn. run performs the actual
+// device operation and must invoke its argument exactly once at completion;
+// done (optional) fires after the scheduler records completion.
+func (s *Scheduler) EnqueueWrite(lpn int64, class trace.Class, run func(done func()), done func()) {
+	s.seq++
+	e := &entry{
+		seq:      s.seq,
+		lpn:      lpn,
+		class:    class,
+		epoch:    s.curEpoch,
+		enqueued: s.eng.Now(),
+		run:      run,
+		done:     done,
+	}
+	if e.barrierBound(s.policy) {
+		s.epochOpen[e.epoch]++
+	}
+	s.queue = append(s.queue, e)
+	s.dispatch()
+}
+
+// Barrier inserts a persistence barrier: barrier-bound writes enqueued
+// after it cannot start until all earlier barrier-bound writes complete.
+func (s *Scheduler) Barrier() {
+	s.st.Barriers++
+	s.curEpoch++
+}
+
+// QueueLen returns the number of queued (not yet running) entries.
+func (s *Scheduler) QueueLen() int {
+	n := 0
+	for _, e := range s.queue {
+		if e.state == stateQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// InFlight returns the number of running operations.
+func (s *Scheduler) InFlight() int { return s.used }
+
+// ready reports whether e may dispatch now.
+func (s *Scheduler) ready(e *entry) bool {
+	if e.state != stateQueued {
+		return false
+	}
+	if !e.barrierBound(s.policy) {
+		return true
+	}
+	// Barrier-bound: every earlier epoch must have fully completed.
+	return e.epoch <= s.minEpoch
+}
+
+// pick selects the next entry to dispatch, or nil.
+func (s *Scheduler) pick() *entry {
+	var firstReady, firstPersistent, oldestMigrated *entry
+	now := s.eng.Now()
+	for _, e := range s.queue {
+		if !s.ready(e) {
+			continue
+		}
+		if firstReady == nil {
+			firstReady = e
+		}
+		if firstPersistent == nil && e.class != trace.ClassMigrated {
+			firstPersistent = e
+		}
+		if oldestMigrated == nil && e.class == trace.ClassMigrated {
+			oldestMigrated = e
+		}
+		if firstPersistent != nil && oldestMigrated != nil {
+			break
+		}
+	}
+	if firstReady == nil {
+		return nil
+	}
+	if !s.policy.PrioritizePersistent {
+		return firstReady
+	}
+	// Policy Two: persistent first, unless the non-persistent barrier
+	// fires for an over-delayed migrated write.
+	if s.policy.NonPersistentBarrier && oldestMigrated != nil &&
+		now-oldestMigrated.enqueued >= s.policy.NPBDelay {
+		s.st.NPBInsertions++
+		return oldestMigrated
+	}
+	if firstPersistent != nil {
+		return firstPersistent
+	}
+	return oldestMigrated
+}
+
+// dispatch fills free slots with ready entries.
+func (s *Scheduler) dispatch() {
+	s.advanceMinEpoch() // skip past epochs emptied by back-to-back barriers
+	for s.used < s.slots {
+		e := s.pick()
+		if e == nil {
+			return
+		}
+		// Same-location hazard (§5.3.1): a migrated write reordered
+		// around a newer persistent write to the same page is stale —
+		// discard it instead of clobbering the persistent data.
+		if e.class == trace.ClassMigrated {
+			if pseq, ok := s.lastPersistentSeq[e.lpn]; ok && pseq > e.seq {
+				e.state = stateDone
+				s.st.DiscardedMigrated++
+				// A discarded entry still satisfies its epoch: without
+				// this, a barrier-bound migrated entry would wedge its
+				// epoch open forever (deadlock).
+				s.retireEpochMember(e)
+				s.compact()
+				if e.done != nil {
+					e.done()
+				}
+				continue
+			}
+		} else {
+			s.lastPersistentSeq[e.lpn] = e.seq
+		}
+		s.start(e)
+	}
+}
+
+// start launches e on a slot.
+func (s *Scheduler) start(e *entry) {
+	e.state = stateRunning
+	s.used++
+	wait := (s.eng.Now() - e.enqueued).Micros()
+	if e.class == trace.ClassMigrated {
+		s.waitMig.Add(wait)
+	} else {
+		s.waitPer.Add(wait)
+	}
+	e.run(func() { s.finish(e) })
+}
+
+// finish records completion of e and re-dispatches.
+func (s *Scheduler) finish(e *entry) {
+	if e.state != stateRunning {
+		panic("memsched: completion for non-running entry")
+	}
+	e.state = stateDone
+	s.used--
+	if e.class == trace.ClassMigrated {
+		s.st.CompletedMigrated++
+	} else {
+		s.st.CompletedPersistent++
+	}
+	s.retireEpochMember(e)
+	s.compact()
+	if e.done != nil {
+		e.done()
+	}
+	s.dispatch()
+}
+
+// retireEpochMember releases e's membership in its epoch, advancing the
+// oldest-incomplete-epoch pointer when the epoch empties.
+func (s *Scheduler) retireEpochMember(e *entry) {
+	if !e.barrierBound(s.policy) {
+		return
+	}
+	s.epochOpen[e.epoch]--
+	if s.epochOpen[e.epoch] <= 0 {
+		delete(s.epochOpen, e.epoch)
+		s.advanceMinEpoch()
+	}
+}
+
+// advanceMinEpoch moves the oldest-incomplete-epoch pointer forward.
+func (s *Scheduler) advanceMinEpoch() {
+	for s.minEpoch < s.curEpoch {
+		if _, open := s.epochOpen[s.minEpoch]; open {
+			return
+		}
+		// Also stop if any queued barrier-bound entry still belongs to
+		// minEpoch (enqueued but not yet running/complete is covered by
+		// epochOpen, so this is safe to advance).
+		s.minEpoch++
+	}
+}
+
+// compact drops completed entries from the queue head to bound memory.
+func (s *Scheduler) compact() {
+	i := 0
+	for i < len(s.queue) && s.queue[i].state == stateDone {
+		i++
+	}
+	if i > 0 {
+		s.queue = append(s.queue[:0], s.queue[i:]...)
+	}
+}
+
+// Stats returns a snapshot of scheduler statistics.
+func (s *Scheduler) Stats() Stats {
+	st := s.st
+	st.PersistentWaitUS = s.waitPer.Mean()
+	st.MigratedWaitUS = s.waitMig.Mean()
+	return st
+}

@@ -1,0 +1,134 @@
+package mgmt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// DecisionKind classifies a manager decision-log entry.
+type DecisionKind uint8
+
+const (
+	// DecisionEpoch records one management window's per-store view.
+	DecisionEpoch DecisionKind = iota
+	// DecisionMigrate records a migration launch.
+	DecisionMigrate
+	// DecisionSkip records a cost/benefit rejection.
+	DecisionSkip
+	// DecisionComplete records a migration completion.
+	DecisionComplete
+	// DecisionPlace records an initial placement (Eq. 4).
+	DecisionPlace
+)
+
+// String names the kind.
+func (k DecisionKind) String() string {
+	switch k {
+	case DecisionEpoch:
+		return "epoch"
+	case DecisionMigrate:
+		return "migrate"
+	case DecisionSkip:
+		return "skip"
+	case DecisionComplete:
+		return "complete"
+	case DecisionPlace:
+		return "place"
+	default:
+		return fmt.Sprintf("decision(%d)", uint8(k))
+	}
+}
+
+// Decision is one entry in the manager's decision log — the audit trail
+// experiments and operators use to explain *why* data moved.
+type Decision struct {
+	At   sim.Time
+	Kind DecisionKind
+	// VMDK is the subject disk (-1 for epoch entries).
+	VMDK int
+	// Src and Dst name the stores involved ("" when not applicable).
+	Src, Dst string
+	// Detail is a short human-readable explanation.
+	Detail string
+}
+
+// String renders one entry.
+func (d Decision) String() string {
+	loc := ""
+	if d.Src != "" || d.Dst != "" {
+		loc = fmt.Sprintf(" %s→%s", d.Src, d.Dst)
+	}
+	id := ""
+	if d.VMDK >= 0 {
+		id = fmt.Sprintf(" vmdk%d", d.VMDK)
+	}
+	return fmt.Sprintf("[%v] %s%s%s %s", d.At, d.Kind, id, loc, d.Detail)
+}
+
+// DecisionLog is a bounded ring of manager decisions. The zero value is
+// disabled; enable with SetCapacity.
+type DecisionLog struct {
+	entries []Decision
+	next    int
+	full    bool
+	enabled bool
+}
+
+// SetCapacity enables the log with space for n entries (older entries are
+// overwritten). n <= 0 disables it.
+func (l *DecisionLog) SetCapacity(n int) {
+	if n <= 0 {
+		*l = DecisionLog{}
+		return
+	}
+	l.entries = make([]Decision, n)
+	l.next = 0
+	l.full = false
+	l.enabled = true
+}
+
+// Enabled reports whether entries are being recorded.
+func (l *DecisionLog) Enabled() bool { return l.enabled }
+
+// add appends one entry (no-op when disabled).
+func (l *DecisionLog) add(d Decision) {
+	if !l.enabled {
+		return
+	}
+	l.entries[l.next] = d
+	l.next++
+	if l.next == len(l.entries) {
+		l.next = 0
+		l.full = true
+	}
+}
+
+// Entries returns the recorded decisions, oldest first.
+func (l *DecisionLog) Entries() []Decision {
+	if !l.enabled {
+		return nil
+	}
+	if !l.full {
+		return append([]Decision(nil), l.entries[:l.next]...)
+	}
+	out := make([]Decision, 0, len(l.entries))
+	out = append(out, l.entries[l.next:]...)
+	out = append(out, l.entries[:l.next]...)
+	return out
+}
+
+// String renders the whole log.
+func (l *DecisionLog) String() string {
+	var b strings.Builder
+	for _, d := range l.Entries() {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Log returns the manager's decision log (disabled unless the caller
+// enables it with SetCapacity).
+func (m *Manager) Log() *DecisionLog { return &m.log }

@@ -1,0 +1,576 @@
+package mgmt
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config parameterizes the management loop.
+type Config struct {
+	// Tau is the imbalance threshold τ (§5.1.2; default 0.5 per §6.2.1).
+	Tau float64
+	// Window is the management epoch length.
+	Window sim.Time
+	// MinWindowRequests skips decisions for stores with fewer completed
+	// requests in the window (too little signal).
+	MinWindowRequests int
+	// ChunkBytes is the migration copy granularity.
+	ChunkBytes int64
+	// CopyDepth is the number of concurrent in-flight copy chunks.
+	CopyDepth int
+	// MaxConcurrentMigrations bounds simultaneous migrations.
+	MaxConcurrentMigrations int
+	// BenefitHorizonWindows is how many future management windows the
+	// Eq. 7 benefit is integrated over ("Once migrated, a VMDK will be
+	// operated in a relatively long time", §5.1.2). Default 50.
+	BenefitHorizonWindows int
+	// MinResidenceWindows is the hysteresis: a VMDK that just moved is
+	// not re-selected as a migration candidate for this many windows.
+	MinResidenceWindows uint64
+	// DebounceWindows requires the imbalance condition to hold for this
+	// many consecutive epochs before a migration triggers, filtering
+	// transient spikes (e.g. cold caches right after a migration).
+	// Default 1 (no debouncing).
+	DebounceWindows int
+	// SmoothingAlpha is the EWMA weight applied to per-store decision
+	// latencies across epochs (1 = no smoothing, use the raw window).
+	// Smoothing suppresses single-window noise (cache-hit variance)
+	// while persistent shifts — sustained load or bus contention —
+	// still move the estimate within a few windows. Default 0.5.
+	SmoothingAlpha float64
+}
+
+// DefaultConfig returns the evaluation defaults.
+func DefaultConfig() Config {
+	return Config{
+		Tau:                     0.5,
+		Window:                  10 * sim.Millisecond,
+		MinWindowRequests:       8,
+		ChunkBytes:              256 << 10,
+		CopyDepth:               4,
+		MaxConcurrentMigrations: 1,
+		BenefitHorizonWindows:   50,
+		MinResidenceWindows:     4,
+		DebounceWindows:         1,
+		SmoothingAlpha:          0.5,
+	}
+}
+
+// Stats aggregates management activity for the experiments.
+type Stats struct {
+	Epochs              uint64
+	MigrationsStarted   uint64
+	MigrationsCompleted uint64
+	MigrationsSkipped   uint64 // proposals rejected by cost/benefit
+	BytesCopied         int64
+	BytesMirrored       int64 // blocks satisfied by write redirection
+	MigrationTime       sim.Time
+	// PingPongs counts migrations that return a VMDK to a store it left
+	// earlier — the unnecessary-migration signature of Fig. 3.
+	PingPongs uint64
+}
+
+// Manager runs the storage-management loop over a set of datastores.
+type Manager struct {
+	eng    *sim.Engine
+	cfg    Config
+	scheme Scheme
+	stores []*Datastore
+	models map[device.Kind]perfmodel.Predictor
+
+	nextVMDKID   int
+	imbalanceRun int // consecutive epochs the imbalance condition held
+	smoothed     map[*Datastore]float64
+	active       []*Migration
+	history      map[int][]string // VMDK id → past store names (ping-pong detection)
+	stats        Stats
+	running      bool
+	network      Network
+	log          DecisionLog
+
+	// OnEpoch, when set, observes each epoch's per-store performance
+	// vector (experiment instrumentation).
+	OnEpoch func(perf []StorePerf)
+}
+
+// StorePerf is one store's view in a management epoch.
+type StorePerf struct {
+	Store      *Datastore
+	WC         trace.WC
+	MeasuredUS float64
+	PerfUS     float64 // the P_d used for decisions (Eq. 5), µs
+	// Norm is PerfUS divided by the technology's lightly-loaded latency:
+	// a unitless load index so a 150 µs NVDIMM floor and a 400 µs SSD
+	// floor both read as ~1 when unloaded (BASIL-style normalization).
+	Norm     float64
+	Requests int
+}
+
+// NewManager builds a manager. Models may be nil for schemes that never
+// consult them.
+func NewManager(eng *sim.Engine, cfg Config, scheme Scheme, stores []*Datastore) *Manager {
+	if cfg.Tau <= 0 {
+		cfg.Tau = 0.5
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 10 * sim.Millisecond
+	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = 256 << 10
+	}
+	if cfg.CopyDepth <= 0 {
+		cfg.CopyDepth = 4
+	}
+	if cfg.MaxConcurrentMigrations <= 0 {
+		cfg.MaxConcurrentMigrations = 1
+	}
+	if cfg.BenefitHorizonWindows <= 0 {
+		cfg.BenefitHorizonWindows = 50
+	}
+	if cfg.SmoothingAlpha <= 0 || cfg.SmoothingAlpha > 1 {
+		cfg.SmoothingAlpha = 0.5
+	}
+	return &Manager{
+		eng:      eng,
+		cfg:      cfg,
+		scheme:   scheme,
+		stores:   stores,
+		models:   make(map[device.Kind]perfmodel.Predictor),
+		history:  make(map[int][]string),
+		smoothed: make(map[*Datastore]float64),
+	}
+}
+
+// SetModel installs the trained performance model for a device kind
+// (required for BCA schemes on NVDIMM stores).
+func (m *Manager) SetModel(kind device.Kind, p perfmodel.Predictor) {
+	m.models[kind] = p
+}
+
+// Network moves migration data between server nodes. A nil network makes
+// cross-node transfers free (single-node setups).
+type Network interface {
+	// Transfer delivers bytes from srcNode to dstNode, invoking done when
+	// the data has arrived.
+	Transfer(srcNode, dstNode int, bytes int64, done func())
+}
+
+// SetNetwork installs the cross-node transfer model.
+func (m *Manager) SetNetwork(n Network) { m.network = n }
+
+// Scheme returns the active scheme.
+func (m *Manager) Scheme() Scheme { return m.scheme }
+
+// Stats returns a snapshot of management statistics.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Stores returns the managed datastores.
+func (m *Manager) Stores() []*Datastore { return m.stores }
+
+// ActiveMigrations returns in-progress migrations.
+func (m *Manager) ActiveMigrations() int { return len(m.active) }
+
+// PauseMigration stops the background copy of the given VMDK's in-flight
+// migration (I/O mirroring keeps routing writes to the destination). It
+// reports whether a matching migration was found. The pause is sticky —
+// cost/benefit re-evaluation does not override it — until
+// ResumeMigration.
+func (m *Manager) PauseMigration(vmdkID int) bool {
+	for _, mig := range m.active {
+		if mig.v.ID == vmdkID {
+			mig.opPaused = true
+			return true
+		}
+	}
+	return false
+}
+
+// ResumeMigration restarts a paused background copy.
+func (m *Manager) ResumeMigration(vmdkID int) bool {
+	for _, mig := range m.active {
+		if mig.v.ID == vmdkID {
+			if mig.opPaused {
+				mig.opPaused = false
+				mig.pump()
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Start begins the periodic management loop.
+func (m *Manager) Start() {
+	if m.running {
+		return
+	}
+	m.running = true
+	m.eng.Schedule(m.cfg.Window, m.epoch)
+}
+
+// Stop halts the loop after the current epoch.
+func (m *Manager) Stop() { m.running = false }
+
+// perfOf computes P_d per Eq. 5: measured MP for conventional devices,
+// predicted PP for NVDIMMs under BCA schemes (the measured value would
+// wrongly attribute bus contention to the device).
+//
+// The measured OIO feature is itself contention-polluted: bus queuing
+// inflates occupancy, and feeding the inflated value to the model makes
+// it predict the (legitimately slow) quiet behaviour at that depth. The
+// de-confounded queue depth comes from a Little's-law fixed point: the
+// arrival rate λ is demand-driven, so the quiet-equivalent occupancy is
+// λ·PP, iterated to consistency and never above the measurement.
+func (m *Manager) perfOf(ds *Datastore, wc trace.WC, measuredUS float64, requests int) float64 {
+	if m.scheme.BCAModel && ds.Dev.Kind() == device.KindNVDIMM {
+		if model, ok := m.models[device.KindNVDIMM]; ok {
+			lambdaPerUS := float64(requests) / m.cfg.Window.Micros()
+			// Iterate upward from depth 1 so the fixed point found is the
+			// smallest consistent one — the quiet operating point — rather
+			// than the contention-inflated one.
+			quietWC := wc
+			if quietWC.OIOs > 1 {
+				quietWC.OIOs = 1
+			}
+			pp := model.PredictUS(quietWC)
+			for i := 0; i < 4; i++ {
+				est := lambdaPerUS * pp
+				if est > wc.OIOs {
+					est = wc.OIOs
+				}
+				quietWC.OIOs = est
+				pp = model.PredictUS(quietWC)
+			}
+			// Eq. 3 defines BC = MP − PP ≥ 0, so the contention-free
+			// estimate can never exceed the measurement.
+			if pp > measuredUS {
+				pp = measuredUS
+			}
+			return pp
+		}
+	}
+	return measuredUS
+}
+
+// epoch runs one management decision round.
+func (m *Manager) epoch() {
+	if !m.running {
+		return
+	}
+	m.stats.Epochs++
+
+	perfs := make([]StorePerf, 0, len(m.stores))
+	for _, ds := range m.stores {
+		wc, mp, n := ds.Mon.Window()
+		var p float64
+		if n >= m.cfg.MinWindowRequests {
+			p = m.perfOf(ds, wc, mp, n)
+		} else {
+			// Too little signal: estimate from the device technology so
+			// an idle HDD is never mistaken for a fast destination.
+			p = idleEstimateUS(ds.Dev.Kind())
+		}
+		// EWMA-smooth the decision latency across epochs.
+		if prev, ok := m.smoothed[ds]; ok {
+			p = m.cfg.SmoothingAlpha*p + (1-m.cfg.SmoothingAlpha)*prev
+		}
+		m.smoothed[ds] = p
+		perfs = append(perfs, StorePerf{
+			Store: ds, WC: wc, MeasuredUS: mp, PerfUS: p,
+			Norm: p / idleEstimateUS(ds.Dev.Kind()), Requests: n,
+		})
+	}
+	if m.OnEpoch != nil {
+		m.OnEpoch(perfs)
+	}
+
+	// Pump cost/benefit-gated migrations with fresh window data.
+	for _, mig := range m.active {
+		mig.reconsider(perfs)
+	}
+
+	if len(m.active) < m.cfg.MaxConcurrentMigrations {
+		m.detectAndMigrate(perfs)
+	}
+
+	for _, ds := range m.stores {
+		ds.resetWindow()
+	}
+	m.eng.Schedule(m.cfg.Window, m.epoch)
+}
+
+// idleEstimateUS is the decision latency assumed for a store with too
+// little window traffic to measure: the characteristic lightly-loaded
+// latency of the technology (Table 1 shapes).
+func idleEstimateUS(k device.Kind) float64 {
+	switch k {
+	case device.KindNVDIMM:
+		return 100
+	case device.KindSSD:
+		return 350
+	default: // HDD
+		return 8000
+	}
+}
+
+// detectAndMigrate implements §5.1.2: find max/min stores, check τ, pick a
+// candidate VMDK, and launch the migration. The overloaded side only
+// considers stores that actually hold active VMDKs; the destination side
+// considers every store (idle ones use the technology estimate).
+func (m *Manager) detectAndMigrate(perfs []StorePerf) {
+	var maxP, minP *StorePerf
+	for i := range perfs {
+		p := &perfs[i]
+		if p.Store.NumVMDKs() > 0 && p.Requests >= m.cfg.MinWindowRequests {
+			if maxP == nil || p.Norm > maxP.Norm {
+				maxP = p
+			}
+		}
+		// Destination: lowest *absolute* expected latency — a lightly
+		// loaded slow device is still a bad home for hot data.
+		if minP == nil || p.PerfUS < minP.PerfUS {
+			minP = p
+		}
+	}
+	if maxP == nil || minP == nil || maxP == minP {
+		return
+	}
+	delta := maxP.Norm - minP.Norm
+	if maxP.Norm <= 0 || delta/maxP.Norm <= m.cfg.Tau {
+		m.imbalanceRun = 0
+		return
+	}
+	m.imbalanceRun++
+	if m.imbalanceRun < m.cfg.DebounceWindows {
+		return
+	}
+	src, dst := maxP.Store, minP.Store
+
+	// Candidate: the busiest non-migrating VMDK on the overloaded store
+	// that fits on the destination, excluding recent movers (hysteresis).
+	var cand *VMDK
+	for _, v := range src.VMDKs() {
+		if v.Migrating() || v.Size > dst.Free() {
+			continue
+		}
+		if m.stats.Epochs-v.lastMoveEpoch < m.cfg.MinResidenceWindows && v.lastMoveEpoch > 0 {
+			continue
+		}
+		if cand == nil || v.windowRequests > cand.windowRequests {
+			cand = v
+		}
+	}
+	if cand == nil || cand.windowRequests == 0 {
+		return
+	}
+
+	// Pesto-style gate: without mirroring, cost/benefit decides whether
+	// the migration is worth starting at all.
+	if m.scheme.CostBenefit && !m.scheme.Mirroring {
+		cost, benefit := m.costBenefit(cand, maxP, minP, cand.Size)
+		if benefit <= cost {
+			m.stats.MigrationsSkipped++
+			m.log.add(Decision{At: m.eng.Now(), Kind: DecisionSkip, VMDK: cand.ID,
+				Src: src.Dev.Name(), Dst: dst.Dev.Name(),
+				Detail: fmt.Sprintf("cost %.0fus > benefit %.0fus", cost, benefit)})
+			return
+		}
+	}
+	if err := m.startMigration(cand, dst); err == nil {
+		m.stats.MigrationsStarted++
+		cand.lastMoveEpoch = m.stats.Epochs
+		m.recordMove(cand, src, dst)
+		m.log.add(Decision{At: m.eng.Now(), Kind: DecisionMigrate, VMDK: cand.ID,
+			Src: src.Dev.Name(), Dst: dst.Dev.Name(),
+			Detail: fmt.Sprintf("norm %.1f vs %.1f (tau %.2f)", maxP.Norm, minP.Norm, m.cfg.Tau)})
+	}
+}
+
+// recordMove tracks placement history for ping-pong detection.
+func (m *Manager) recordMove(v *VMDK, src, dst *Datastore) {
+	h := m.history[v.ID]
+	for _, past := range h {
+		if past == dst.Dev.Name() {
+			m.stats.PingPongs++
+			break
+		}
+	}
+	m.history[v.ID] = append(h, src.Dev.Name())
+}
+
+// costBenefit evaluates Eq. 6 and Eq. 7 for moving v from src to dst,
+// with remaining bytes still to copy. Per-unit latencies are the
+// per-4KB-scaled P_d values; bus-contention terms come from MP − PP on
+// NVDIMM stores when a model is available.
+func (m *Manager) costBenefit(v *VMDK, src, dst *StorePerf, remaining int64) (costUS, benefitUS float64) {
+	unit := func(p StorePerf) float64 {
+		ios := p.WC.IOSize
+		if ios < BlockSize {
+			ios = BlockSize
+		}
+		return p.PerfUS * BlockSize / ios
+	}
+	bc := func(p StorePerf) float64 {
+		if p.Store.Dev.Kind() != device.KindNVDIMM {
+			return 0
+		}
+		model, ok := m.models[device.KindNVDIMM]
+		if !ok {
+			return 0
+		}
+		d := p.MeasuredUS - model.PredictUS(p.WC)
+		if d < 0 {
+			return 0
+		}
+		ios := p.WC.IOSize
+		if ios < BlockSize {
+			ios = BlockSize
+		}
+		return d * BlockSize / ios
+	}
+
+	qMig := float64(remaining) / BlockSize
+	costUS = qMig * (unit(*src) + unit(*dst) + bc(*src) + bc(*dst))
+
+	// Benefit (Eq. 7): per-request latency gain for the candidate's
+	// stream once it runs at the destination, accrued over every request
+	// it will issue across the benefit horizon. The destination's
+	// post-migration latency is approximated by its current per-request
+	// latency bumped by the share of load that moves; an idle or barely
+	// loaded destination uses the technology estimate already folded into
+	// PerfUS.
+	share := 0.0
+	if total := src.Store.WindowLoad(); total > 0 {
+		share = float64(v.windowRequests) / float64(total)
+	}
+	dstAfter := dst.PerfUS * (1 + share)
+	gain := src.PerfUS - dstAfter
+	if gain < 0 {
+		gain = 0
+	}
+	benefitUS = gain * float64(v.windowRequests) * float64(m.cfg.BenefitHorizonWindows)
+	return costUS, benefitUS
+}
+
+// startMigration allocates the destination extent and begins copying.
+func (m *Manager) startMigration(v *VMDK, dst *Datastore) error {
+	base, err := dst.allocExtent(v.Size)
+	if err != nil {
+		return err
+	}
+	v.beginMigration(dst, base, m.scheme.Mirroring)
+	mig := newMigration(m, v, v.src, dst)
+	m.active = append(m.active, mig)
+	mig.pump()
+	return nil
+}
+
+// migrationDone removes the finished migration and records stats.
+func (m *Manager) migrationDone(mig *Migration) {
+	for i, a := range m.active {
+		if a == mig {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	m.stats.MigrationsCompleted++
+	// BytesCopied accrues per chunk as copies land (partial migrations
+	// count); only the mirrored complement is known at completion.
+	m.stats.BytesMirrored += mig.mirroredBytes()
+	m.stats.MigrationTime += mig.finishedAt - mig.startedAt
+	m.log.add(Decision{At: m.eng.Now(), Kind: DecisionComplete, VMDK: mig.v.ID,
+		Src: mig.src.Dev.Name(), Dst: mig.dst.Dev.Name(),
+		Detail: fmt.Sprintf("copied %dMB in %v", mig.copiedBytes>>20, mig.finishedAt-mig.startedAt)})
+}
+
+// PlaceVMDK implements the §5.1.1 initial placement (Eq. 4): choose the
+// datastore minimizing the average predicted system performance, skipping
+// candidates whose placement would immediately trigger the imbalance
+// threshold.
+func (m *Manager) PlaceVMDK(size int64, est trace.WC) (*VMDK, error) {
+	type cand struct {
+		ds      *Datastore
+		avg     float64
+		trigger bool
+	}
+	perfs := make([]float64, len(m.stores))
+	for i, ds := range m.stores {
+		wc, mp, n := ds.Mon.Window()
+		if n >= m.cfg.MinWindowRequests {
+			perfs[i] = m.perfOf(ds, wc, mp, n)
+		} else {
+			perfs[i] = idleEstimateUS(ds.Dev.Kind())
+		}
+	}
+	var cands []cand
+	for i, ds := range m.stores {
+		if ds.Free() < size {
+			continue
+		}
+		// Predicted performance of ds with the new VMDK: model-based for
+		// NVDIMM under BCA, otherwise the store's current decision
+		// latency (idle stores already carry the technology estimate).
+		withNew := perfs[i]
+		if m.scheme.BCAModel && ds.Dev.Kind() == device.KindNVDIMM {
+			if model, ok := m.models[device.KindNVDIMM]; ok {
+				merged := est
+				cur, _, n := ds.Mon.Window()
+				if n > 0 {
+					merged.OIOs += cur.OIOs
+				}
+				withNew = model.PredictUS(merged)
+			}
+		}
+		// Eq. 4: average across devices with candidate i replaced.
+		sum := 0.0
+		for j := range perfs {
+			if j == i {
+				sum += withNew
+			} else {
+				sum += perfs[j]
+			}
+		}
+		avg := sum / float64(len(perfs))
+		// Would this placement immediately trip the imbalance detector?
+		maxP, minP := withNew, withNew
+		for j, p := range perfs {
+			if j == i {
+				continue
+			}
+			if p > maxP {
+				maxP = p
+			}
+			if p < minP {
+				minP = p
+			}
+		}
+		trigger := maxP > 0 && (maxP-minP)/maxP > m.cfg.Tau && withNew == maxP
+		cands = append(cands, cand{ds: ds, avg: avg, trigger: trigger})
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("mgmt: no datastore can hold %d bytes", size)
+	}
+	best := -1
+	for pass := 0; pass < 2 && best < 0; pass++ {
+		for i, c := range cands {
+			if pass == 0 && c.trigger {
+				continue // §5.1.1: remove candidates that trigger migration
+			}
+			if best < 0 || c.avg < cands[best].avg {
+				best = i
+			}
+		}
+	}
+	m.nextVMDKID++
+	v, err := cands[best].ds.CreateVMDK(m.nextVMDKID, size)
+	if err == nil {
+		m.log.add(Decision{At: m.eng.Now(), Kind: DecisionPlace, VMDK: v.ID,
+			Dst:    cands[best].ds.Dev.Name(),
+			Detail: fmt.Sprintf("avg system perf %.0fus (Eq. 4)", cands[best].avg)})
+	}
+	return v, err
+}

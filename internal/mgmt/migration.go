@@ -1,0 +1,190 @@
+package mgmt
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Migration is one in-flight VMDK move: a background copy engine that
+// walks the bitmap, skipping blocks already satisfied by write
+// mirroring, with optional per-epoch cost/benefit gating (§5.2).
+type Migration struct {
+	mgr *Manager
+	v   *VMDK
+	src *Datastore
+	dst *Datastore
+
+	cursor    int64 // next block index to consider
+	inflight  int
+	paused    bool // cost/benefit said "not now"
+	opPaused  bool // operator said "not now" (sticky until resumed)
+	completed bool
+
+	copiedBytes int64
+	startedAt   sim.Time
+	finishedAt  sim.Time
+}
+
+func newMigration(m *Manager, v *VMDK, src, dst *Datastore) *Migration {
+	return &Migration{mgr: m, v: v, src: src, dst: dst, startedAt: m.eng.Now()}
+}
+
+// mirroredBytes estimates bytes satisfied without copying.
+func (g *Migration) mirroredBytes() int64 {
+	return g.v.Blocks()*BlockSize - g.copiedBytes
+}
+
+// class returns the request class migration traffic carries.
+func (g *Migration) class() trace.Class {
+	if g.mgr.scheme.ArchTagging {
+		return trace.ClassMigrated
+	}
+	return trace.ClassNormal
+}
+
+// reconsider re-evaluates the cost/benefit gate with fresh epoch data
+// (lazy migration only pauses the *copy*; mirroring continues always).
+func (g *Migration) reconsider(perfs []StorePerf) {
+	if g.completed || !g.mgr.scheme.CostBenefit || !g.mgr.scheme.Mirroring {
+		return
+	}
+	var srcP, dstP *StorePerf
+	for i := range perfs {
+		if perfs[i].Store == g.src {
+			srcP = &perfs[i]
+		}
+		if perfs[i].Store == g.dst {
+			dstP = &perfs[i]
+		}
+	}
+	if srcP == nil || dstP == nil {
+		return
+	}
+	remaining := (g.v.Blocks() - g.v.MigratedBlocks()) * BlockSize
+	cost, benefit := g.mgr.costBenefit(g.v, srcP, dstP, remaining)
+	wasPaused := g.paused
+	// §5.2: data are only migrated when the benefit is larger than the
+	// cost. An idle system (zero measured cost) also permits progress so
+	// migrations eventually finish.
+	g.paused = cost > 0 && benefit <= cost
+	if wasPaused && !g.paused {
+		g.pump()
+	}
+}
+
+// pump keeps CopyDepth chunks in flight.
+func (g *Migration) pump() {
+	if g.completed {
+		return
+	}
+	for !g.paused && !g.opPaused && g.inflight < g.mgr.cfg.CopyDepth {
+		blocks := g.nextChunk()
+		if blocks == nil {
+			break
+		}
+		g.copyChunk(blocks)
+	}
+	g.maybeFinish()
+}
+
+// nextChunk collects the next run of unmigrated blocks, up to ChunkBytes.
+func (g *Migration) nextChunk() []int64 {
+	maxBlocks := g.mgr.cfg.ChunkBytes / BlockSize
+	var blocks []int64
+	for g.cursor < g.v.Blocks() && int64(len(blocks)) < maxBlocks {
+		b := g.cursor
+		g.cursor++
+		if g.v.blockMigrated(b) {
+			if len(blocks) > 0 {
+				break // keep chunks contiguous
+			}
+			continue
+		}
+		blocks = append(blocks, b)
+	}
+	if len(blocks) == 0 {
+		return nil
+	}
+	return blocks
+}
+
+// copyChunk reads the blocks from the source and writes them to the
+// destination, marking them migrated on completion. Blocks that a
+// mirrored write migrates while the copy is in flight are detected at
+// write time and not overwritten (the §5.3.1 same-location discard
+// handles the device-level race; here the block simply stays marked).
+func (g *Migration) copyChunk(blocks []int64) {
+	g.inflight++
+	first := blocks[0]
+	n := int64(len(blocks))
+	read := &trace.IORequest{
+		Op:     trace.OpRead,
+		Offset: g.v.srcBase + first*BlockSize,
+		Size:   n * BlockSize,
+		Class:  g.class(),
+		VMDK:   g.v.ID,
+	}
+	g.src.Submit(read, func(*trace.IORequest) {
+		writeOut := func() {
+			write := &trace.IORequest{
+				Op:     trace.OpWrite,
+				Offset: g.v.dstBase + first*BlockSize,
+				Size:   n * BlockSize,
+				Class:  g.class(),
+				VMDK:   g.v.ID,
+			}
+			g.dst.Submit(write, func(*trace.IORequest) {
+				for _, b := range blocks {
+					g.v.markMigrated(b)
+				}
+				g.copiedBytes += n * BlockSize
+				g.mgr.stats.BytesCopied += n * BlockSize
+				g.inflight--
+				g.pump()
+			})
+		}
+		if g.src.Node != g.dst.Node && g.mgr.network != nil {
+			g.mgr.network.Transfer(g.src.Node, g.dst.Node, n*BlockSize, writeOut)
+		} else {
+			writeOut()
+		}
+	})
+}
+
+// maybeFinish commits the migration once every block lives at the
+// destination and no chunk is in flight.
+func (g *Migration) maybeFinish() {
+	if g.completed || g.inflight > 0 {
+		return
+	}
+	if g.v.MigratedBlocks() < g.v.Blocks() {
+		if g.cursor >= g.v.Blocks() && !g.paused {
+			// The cursor passed blocks that mirroring has not written;
+			// rescan for the stragglers.
+			g.cursor = 0
+			if g.nextChunkPeek() {
+				g.pump()
+			}
+		}
+		return
+	}
+	g.completed = true
+	g.finishedAt = g.mgr.eng.Now()
+	src := g.src
+	g.v.finishMigration()
+	src.evict(g.v)
+	g.dst.adopt(g.v)
+	src.releaseExtent(g.v.Size)
+	g.mgr.migrationDone(g)
+}
+
+// nextChunkPeek reports whether unmigrated blocks remain without moving
+// the cursor permanently.
+func (g *Migration) nextChunkPeek() bool {
+	for b := int64(0); b < g.v.Blocks(); b++ {
+		if !g.v.blockMigrated(b) {
+			return true
+		}
+	}
+	return false
+}

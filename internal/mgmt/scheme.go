@@ -1,0 +1,57 @@
+package mgmt
+
+// Scheme selects which management techniques are active, spanning the
+// paper's baselines (§2.2) and its proposed designs (§5).
+type Scheme struct {
+	// Name labels results.
+	Name string
+	// BCAModel uses the predicted (contention-free) performance PP for
+	// NVDIMM datastores in Eq. 5 and placement, instead of the measured
+	// MP that baselines use — the Bus-Contention-Aware core (§5.1).
+	BCAModel bool
+	// CostBenefit gates data movement on Benefit > Cost. Without
+	// Mirroring the gate applies when a migration is proposed
+	// (Pesto-style); with Mirroring it gates each background copy chunk
+	// (the lazy migration of §5.2).
+	CostBenefit bool
+	// Mirroring redirects upcoming writes to the destination instead of
+	// copying everything (LightSRM's I/O mirroring, reused by §5.2).
+	Mirroring bool
+	// ArchTagging marks migration traffic ClassMigrated so destination
+	// scheduling policies and source cache bypassing can see it (§5.3).
+	// Baselines leave migration traffic untagged.
+	ArchTagging bool
+}
+
+// BASIL is the FAST'10 baseline: online measured-latency modeling and
+// load balancing, no cost-benefit analysis, full copy migration.
+func BASIL() Scheme { return Scheme{Name: "BASIL"} }
+
+// Pesto is the SoCC'11 baseline: BASIL plus cost-benefit analysis.
+func Pesto() Scheme { return Scheme{Name: "Pesto", CostBenefit: true} }
+
+// LightSRM is the ICS'15 baseline: I/O mirroring redirects requests
+// without an eager full copy, plus cost-benefit analysis.
+func LightSRM() Scheme {
+	return Scheme{Name: "LightSRM", CostBenefit: true, Mirroring: true}
+}
+
+// BCA is the paper's bus-contention-aware management alone (§5.1), with
+// eager full-copy migration.
+func BCA() Scheme { return Scheme{Name: "BCA", BCAModel: true} }
+
+// BCALazy adds the §5.2 lazy migration (mirroring + cost/benefit).
+func BCALazy() Scheme {
+	return Scheme{Name: "BCA+Lazy", BCAModel: true, CostBenefit: true, Mirroring: true}
+}
+
+// Full is the complete proposal: BCA + lazy migration + architectural
+// tagging so the NVDIMM-side optimizations (§5.3) engage.
+func Full() Scheme {
+	return Scheme{Name: "BCA+Lazy+Arch", BCAModel: true, CostBenefit: true, Mirroring: true, ArchTagging: true}
+}
+
+// AllSchemes returns the evaluation lineup.
+func AllSchemes() []Scheme {
+	return []Scheme{BASIL(), Pesto(), LightSRM(), BCA(), BCALazy(), Full()}
+}

@@ -1,0 +1,48 @@
+package mlmodel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func benchDataset(n int) Dataset {
+	var ds Dataset
+	rng := sim.NewRNG(7)
+	for i := 0; i < n; i++ {
+		f := []float64{rng.Float64(), rng.Float64() * 32, rng.Float64() * 262144,
+			rng.Float64(), rng.Float64(), rng.Float64()}
+		ds.Add(f, 50+f[1]*10+f[4]*200)
+	}
+	return ds
+}
+
+// BenchmarkTreeTrain measures §4.4 model fitting on a training set the
+// size the experiments use.
+func BenchmarkTreeTrain(b *testing.B) {
+	ds := benchDataset(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(ds, DefaultTreeConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreePredict measures the per-decision prediction cost the
+// manager pays every management window.
+func BenchmarkTreePredict(b *testing.B) {
+	ds := benchDataset(200)
+	tree, err := Train(ds, DefaultTreeConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	features := []float64{0.3, 8, 4096, 0.5, 0.5, 0.9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += tree.Predict(features)
+	}
+	_ = sink
+}

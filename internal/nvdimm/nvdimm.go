@@ -1,0 +1,443 @@
+// Package nvdimm models the flash-backed NVDIMM storage device of the
+// paper (Table 4): a 16-channel NAND array behind a page-level FTL and an
+// LRFU buffer cache, attached to a DDR memory channel it shares with a
+// DRAM DIMM. Because I/O data moves over that shared channel, NVDIMM
+// latency includes bus-contention delay — the effect the paper's
+// performance model isolates (§4) and its architectural optimizations
+// mitigate (§5.3).
+//
+// Request paths:
+//
+//	normal write  → bus transfer → buffer cache (complete) → async flush
+//	               through the migration-aware scheduler to flash
+//	migrated write → bus transfer → scheduler (ClassMigrated) → flash,
+//	               bypassing the buffer cache
+//	normal read   → cache hit: bus transfer only; miss: flash read → bus
+//	               transfer → cache insert (may evict dirty victims)
+//	migrated read → with bypassing (§5.3.2): flash → bus directly, no
+//	               cache insertion or promotion
+package nvdimm
+
+import (
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/device"
+	"repro/internal/flash"
+	"repro/internal/ftl"
+	"repro/internal/memsched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config parameterizes an NVDIMM.
+type Config struct {
+	// Name is the device name.
+	Name string
+	// Capacity is the logical capacity presented to the storage manager.
+	Capacity int64
+	// Flash is the NAND geometry/timing (default Table 4).
+	Flash flash.Config
+	// NumBlocks is the number of physical flash blocks the FTL manages.
+	// This is the *simulated* footprint; it may be scaled down from
+	// Capacity for memory economy (LPNs fold into it).
+	NumBlocks int
+	// OverProvision is the FTL over-provisioning fraction.
+	OverProvision float64
+	// CacheBlocks is the buffer-cache capacity in pages (Table/motivation:
+	// 400 MB at 4 KB pages → 102400 blocks).
+	CacheBlocks int
+	// CacheLambda is the LRFU λ.
+	CacheLambda float64
+	// UseLRU swaps the buffer cache policy to LRU (ablation).
+	UseLRU bool
+	// Sched selects the memory-controller scheduling policy (§5.3.1).
+	Sched memsched.Policy
+	// SchedSlots bounds in-flight flash operations (default:
+	// channels × chips, the array's true dispatch capability).
+	SchedSlots int
+	// BypassMigratedReads enables §5.3.2 buffer-cache bypassing.
+	BypassMigratedReads bool
+	// MaxPendingFlush is the dirty write-back backlog at which incoming
+	// buffered writes stall (write-cliff backpressure).
+	MaxPendingFlush int
+	// WriteThrough sends normal/persistent writes through the scheduler
+	// to flash synchronously (completion at program time) instead of
+	// absorbing them in the buffer cache. This is the persistent-store
+	// configuration of the §5.3.1 scheduling experiments, where barrier
+	// ordering must bind write latency.
+	WriteThrough bool
+	// DAX enables the byte-addressable access path the paper's conclusion
+	// anticipates ("we expect better results ... with DAX"): requests
+	// skip the block-layer synchronization buffer and move exactly the
+	// bytes asked for instead of whole pages. Flash-backed misses still
+	// pay flash latencies.
+	DAX bool
+}
+
+// DefaultConfig returns the Table 4 NVDIMM scaled to the given simulated
+// flash footprint. capacity is the logical capacity advertised to the
+// manager; numBlocks the simulated physical blocks.
+func DefaultConfig(name string, capacity int64, numBlocks int) Config {
+	return Config{
+		Name:            name,
+		Capacity:        capacity,
+		Flash:           flash.DefaultConfig(),
+		NumBlocks:       numBlocks,
+		OverProvision:   0.07,
+		CacheBlocks:     102400, // 400 MB of 4 KB pages
+		CacheLambda:     cache.DefaultLambda,
+		Sched:           memsched.Baseline(),
+		SchedSlots:      0,
+		MaxPendingFlush: 256,
+	}
+}
+
+// stalledWrite is a buffered write waiting out flush backpressure.
+type stalledWrite struct {
+	r    *trace.IORequest
+	done device.Completion
+}
+
+// NVDIMM is the device.
+type NVDIMM struct {
+	device.Base
+	eng     *sim.Engine
+	channel *bus.Channel
+	fl      *flash.Array
+	ftl     *ftl.FTL
+	cache   cache.Cache
+	sched   *memsched.Scheduler
+	cfg     Config
+
+	pendingFlush int
+	stalls       []stalledWrite
+	outstanding  int
+
+	// Counters for experiments.
+	bypassedReads  uint64
+	pollutedReads  uint64
+	stalledWrites  uint64
+	flushedVictims uint64
+}
+
+var _ device.Device = (*NVDIMM)(nil)
+
+// New builds an NVDIMM on the engine, attached to the shared channel.
+func New(eng *sim.Engine, ch *bus.Channel, cfg Config) *NVDIMM {
+	if cfg.SchedSlots <= 0 {
+		cfg.SchedSlots = cfg.Flash.NumChannels * cfg.Flash.ChipsPerChannel
+	}
+	if cfg.MaxPendingFlush <= 0 {
+		cfg.MaxPendingFlush = 256
+	}
+	fl := flash.New(eng, cfg.Flash)
+	var c cache.Cache
+	if cfg.UseLRU {
+		c = cache.NewLRU(cfg.CacheBlocks)
+	} else {
+		c = cache.NewLRFU(cfg.CacheBlocks, cfg.CacheLambda)
+	}
+	n := &NVDIMM{
+		Base:    device.NewBase(cfg.Name, device.KindNVDIMM, cfg.Capacity),
+		eng:     eng,
+		channel: ch,
+		fl:      fl,
+		ftl:     ftl.New(eng, fl, ftl.Config{NumBlocks: cfg.NumBlocks, OverProvision: cfg.OverProvision, GCLowWater: 4}),
+		cache:   c,
+		sched:   memsched.New(eng, cfg.Sched, cfg.SchedSlots),
+		cfg:     cfg,
+	}
+	return n
+}
+
+// Cache exposes the buffer cache for experiment instrumentation.
+func (n *NVDIMM) Cache() cache.Cache { return n.cache }
+
+// FTL exposes the translation layer for instrumentation.
+func (n *NVDIMM) FTL() *ftl.FTL { return n.ftl }
+
+// Scheduler exposes the transaction-queue scheduler.
+func (n *NVDIMM) Scheduler() *memsched.Scheduler { return n.sched }
+
+// Channel returns the shared memory channel this NVDIMM sits on.
+func (n *NVDIMM) Channel() *bus.Channel { return n.channel }
+
+// Outstanding returns the number of requests in flight.
+func (n *NVDIMM) Outstanding() int { return n.outstanding }
+
+// BypassedReads returns how many migrated reads skipped the cache.
+func (n *NVDIMM) BypassedReads() uint64 { return n.bypassedReads }
+
+// StalledWrites returns how many writes hit flush backpressure.
+func (n *NVDIMM) StalledWrites() uint64 { return n.stalledWrites }
+
+// Barrier forwards a persistence barrier to the scheduler (§5.3.1).
+func (n *NVDIMM) Barrier() { n.sched.Barrier() }
+
+// Prefill fills the FTL to the given ratio (free-space experiments).
+func (n *NVDIMM) Prefill(ratio float64) {
+	n.ftl.Prefill(ratio)
+	n.SetUsed(int64(ratio * float64(n.Capacity())))
+}
+
+// FreeSpaceRatio reports the tighter of management-level and FTL-level
+// free space, so GC pressure is visible to the performance model.
+func (n *NVDIMM) FreeSpaceRatio() float64 {
+	mgmt := n.Base.FreeSpaceRatio()
+	phys := n.ftl.FreeSpaceRatio()
+	if phys < mgmt {
+		return phys
+	}
+	return mgmt
+}
+
+// pageSize returns the FTL page size.
+func (n *NVDIMM) pageSize() int64 { return n.ftl.PageSize() }
+
+// pagesOf splits a request into logical page numbers.
+func (n *NVDIMM) pagesOf(r *trace.IORequest) []int64 {
+	ps := n.pageSize()
+	first := r.Offset / ps
+	last := (r.Offset + r.Size - 1) / ps
+	if r.Size <= 0 {
+		last = first
+	}
+	lpns := make([]int64, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		lpns = append(lpns, p)
+	}
+	return lpns
+}
+
+// Submit implements device.Device.
+func (n *NVDIMM) Submit(r *trace.IORequest, done device.Completion) {
+	r.Issue = n.eng.Now()
+	n.outstanding++
+	wrapped := func(req *trace.IORequest) {
+		n.outstanding--
+		n.Metrics().Observe(req)
+		if done != nil {
+			done(req)
+		}
+	}
+	if r.Op == trace.OpRead {
+		n.read(r, wrapped)
+		return
+	}
+	if r.Class == trace.ClassMigrated {
+		n.migratedWrite(r, wrapped)
+		return
+	}
+	if n.cfg.WriteThrough {
+		n.writeThrough(r, wrapped)
+		return
+	}
+	n.bufferedWrite(r, wrapped)
+}
+
+// writeThrough is the persistent-store write path: each page enters the
+// transaction queue immediately (so a barrier issued right after this
+// request delimits it correctly), and the scheduled operation moves the
+// page over the shared channel before programming it. The request
+// completes when every page is durable; a clean copy lands in the buffer
+// cache so subsequent reads hit.
+func (n *NVDIMM) writeThrough(r *trace.IORequest, done device.Completion) {
+	lpns := n.pagesOf(r)
+	per := r.Size / int64(len(lpns))
+	if per <= 0 {
+		per = 64
+	}
+	remaining := len(lpns)
+	for _, lpn := range lpns {
+		lpn := lpn
+		n.sched.EnqueueWrite(lpn, trace.ClassPersistent,
+			func(opDone func()) {
+				n.pageCrossing(per, func() { n.ftl.Write(lpn, opDone) })
+			},
+			func() {
+				victims := n.cache.Insert(lpn, false)
+				n.flushVictims(victims)
+				remaining--
+				if remaining == 0 {
+					n.complete(r, done)
+				}
+			})
+	}
+}
+
+// pageCrossing reserves the shared channel for one page-sized data
+// movement and invokes fn when the transfer completes, recording the
+// queuing delay as contention. NVDIMM block I/O crosses the DDR channel
+// page by page (the device is memory-mapped), so every page transfer
+// competes with DRAM demand traffic — the §2/§3 contention mechanism.
+func (n *NVDIMM) pageCrossing(bytes int64, fn func()) {
+	hold := bus.TransferTime(bytes)
+	if !n.cfg.DAX {
+		// The block interface moves whole pages through the
+		// synchronization buffer; DAX loads/stores skip both.
+		if ps := n.pageSize(); bytes < ps {
+			hold = bus.TransferTime(ps)
+		}
+		hold += bus.SyncBufferLatency
+	}
+	issued := n.eng.Now()
+	n.channel.Acquire(bus.PriIO, hold, func(start sim.Time) {
+		n.Metrics().AddContention((start - issued).Micros())
+		n.eng.Schedule(hold, fn)
+	})
+}
+
+// requestCrossings splits a request's data movement into per-page channel
+// crossings and calls fn when all of them have completed.
+func (n *NVDIMM) requestCrossings(r *trace.IORequest, pages int, fn func()) {
+	if pages <= 0 {
+		pages = 1
+	}
+	per := r.Size / int64(pages)
+	if per <= 0 {
+		per = 64
+	}
+	remaining := pages
+	for i := 0; i < pages; i++ {
+		n.pageCrossing(per, func() {
+			remaining--
+			if remaining == 0 {
+				fn()
+			}
+		})
+	}
+}
+
+// complete stamps and reports the request.
+func (n *NVDIMM) complete(r *trace.IORequest, done device.Completion) {
+	r.Complete = n.eng.Now()
+	done(r)
+}
+
+// --- write paths ---
+
+// bufferedWrite is the normal/persistent write path: data crosses the bus
+// into the buffer cache; the write completes on insertion. Dirty victims
+// (and eventually the written pages themselves, on later eviction) flush
+// to flash through the scheduler.
+func (n *NVDIMM) bufferedWrite(r *trace.IORequest, done device.Completion) {
+	n.requestCrossings(r, len(n.pagesOf(r)), func() { n.bufferInsert(r, done) })
+}
+
+// bufferInsert lands transferred write data in the buffer cache, stalling
+// when the dirty write-back backlog is saturated (the write cliff).
+func (n *NVDIMM) bufferInsert(r *trace.IORequest, done device.Completion) {
+	if n.pendingFlush >= n.cfg.MaxPendingFlush {
+		n.stalledWrites++
+		n.stalls = append(n.stalls, stalledWrite{r: r, done: done})
+		return
+	}
+	for _, lpn := range n.pagesOf(r) {
+		victims := n.cache.Insert(lpn, true)
+		n.flushVictims(victims)
+	}
+	n.complete(r, done)
+}
+
+// flushVictims schedules write-back of dirty evicted blocks.
+func (n *NVDIMM) flushVictims(victims []cache.Victim) {
+	for _, v := range victims {
+		if !v.Dirty {
+			continue
+		}
+		n.flushedVictims++
+		n.pendingFlush++
+		lpn := v.Block
+		n.sched.EnqueueWrite(lpn, trace.ClassPersistent,
+			func(opDone func()) { n.ftl.Write(lpn, opDone) },
+			func() {
+				n.pendingFlush--
+				n.drainStalls()
+			})
+	}
+}
+
+// drainStalls resumes stalled writes once backpressure clears.
+func (n *NVDIMM) drainStalls() {
+	for len(n.stalls) > 0 && n.pendingFlush < n.cfg.MaxPendingFlush {
+		s := n.stalls[0]
+		n.stalls = n.stalls[:copy(n.stalls, n.stalls[1:])]
+		n.bufferInsert(s.r, s.done)
+	}
+}
+
+// migratedWrite is the destination-side migration path: each page enters
+// the transaction queue immediately tagged ClassMigrated so Policy
+// One/Two apply; the scheduled operation moves the page over the shared
+// channel before programming it. It never touches the buffer cache.
+func (n *NVDIMM) migratedWrite(r *trace.IORequest, done device.Completion) {
+	lpns := n.pagesOf(r)
+	per := r.Size / int64(len(lpns))
+	if per <= 0 {
+		per = 64
+	}
+	remaining := len(lpns)
+	for _, lpn := range lpns {
+		lpn := lpn
+		n.sched.EnqueueWrite(lpn, trace.ClassMigrated,
+			func(opDone func()) {
+				n.pageCrossing(per, func() { n.ftl.Write(lpn, opDone) })
+			},
+			func() {
+				remaining--
+				if remaining == 0 {
+					n.complete(r, done)
+				}
+			})
+	}
+}
+
+// --- read path ---
+
+// read serves reads. Cache hits cost only the bus transfer; misses read
+// flash and (for non-bypassed requests) populate the cache.
+func (n *NVDIMM) read(r *trace.IORequest, done device.Completion) {
+	bypass := r.Class == trace.ClassMigrated && n.cfg.BypassMigratedReads
+	lpns := n.pagesOf(r)
+	remaining := len(lpns)
+	perPage := r.Size / int64(len(lpns))
+	if perPage <= 0 {
+		perPage = 64
+	}
+	pageDone := func() {
+		// Each page's data moves to the memory controller over the
+		// shared channel as soon as it is available.
+		n.pageCrossing(perPage, func() {
+			remaining--
+			if remaining == 0 {
+				n.complete(r, done)
+			}
+		})
+	}
+	for _, lpn := range lpns {
+		lpn := lpn
+		if bypass {
+			// §5.3.2: serve from cache if resident (no promotion), else
+			// straight from flash with no insertion.
+			n.bypassedReads++
+			if n.cache.Contains(lpn) {
+				pageDone()
+			} else {
+				n.ftl.Read(lpn, pageDone)
+			}
+			continue
+		}
+		if n.cache.Lookup(lpn) {
+			pageDone()
+			continue
+		}
+		if r.Class == trace.ClassMigrated {
+			n.pollutedReads++
+		}
+		n.ftl.Read(lpn, func() {
+			victims := n.cache.Insert(lpn, false)
+			n.flushVictims(victims)
+			pageDone()
+		})
+	}
+}

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule measures raw event throughput: schedule + run
+// one event per iteration on a warm heap.
+func BenchmarkEngineSchedule(b *testing.B) {
+	eng := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(Time(i%100), func() {})
+		if eng.Pending() > 1024 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkEngineChain measures the self-rescheduling pattern every
+// device model uses.
+func BenchmarkEngineChain(b *testing.B) {
+	eng := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.Schedule(10, tick)
+		}
+	}
+	eng.Schedule(10, tick)
+	b.ResetTimer()
+	eng.Run()
+}
+
+// BenchmarkRNG measures the generator used on every stochastic draw.
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineEmptyRun(t *testing.T) {
+	e := NewEngine()
+	e.Run()
+	if e.Now() != 0 {
+		t.Fatalf("clock moved on empty run: %v", e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.Schedule(10, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(5, func() {
+			hits = append(hits, e.Now())
+		})
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("nested scheduling wrong: %v", hits)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(100, func() {
+		e.Schedule(-50, func() { ran = true })
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineAtInPastClamped(t *testing.T) {
+	e := NewEngine()
+	var at Time = -1
+	e.Schedule(100, func() {
+		e.At(10, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 100 {
+		t.Fatalf("past event ran at %v, want clamped to 100", at)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d
+		e.Schedule(d, func() { ran = append(ran, d) })
+	}
+	e.RunUntil(25)
+	if len(ran) != 2 {
+		t.Fatalf("RunUntil(25) ran %d events, want 2", len(ran))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock after RunUntil = %v, want 25", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(ran) != 4 {
+		t.Fatalf("after Run, ran %d events, want 4", len(ran))
+	}
+}
+
+func TestEngineRunFor(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		e.Schedule(10, tick)
+	}
+	e.Schedule(10, tick)
+	e.RunFor(100)
+	if n != 10 {
+		t.Fatalf("RunFor(100) with period 10 ticked %d times, want 10", n)
+	}
+	e.RunFor(50)
+	if n != 15 {
+		t.Fatalf("second RunFor(50) total %d ticks, want 15", n)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	for i := 0; i < 100; i++ {
+		e.Schedule(Time(i), func() {
+			n++
+			if n == 5 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if n != 5 {
+		t.Fatalf("ran %d events after Stop, want 5", n)
+	}
+	// Run resumes after Stop.
+	e.Run()
+	if n != 100 {
+		t.Fatalf("resume ran to %d, want 100", n)
+	}
+}
+
+func TestEngineProcessedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Processed() != 7 {
+		t.Fatalf("processed = %d, want 7", e.Processed())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.50us"},
+		{2500000, "2.50ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Second.Seconds() != 1 {
+		t.Fatalf("Second.Seconds() = %v", Second.Seconds())
+	}
+	if Microsecond.Micros() != 1 {
+		t.Fatalf("Microsecond.Micros() = %v", Microsecond.Micros())
+	}
+	if Minute != 60*Second {
+		t.Fatal("Minute != 60*Second")
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and the final clock equals the max delay.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		var maxd Time
+		for _, d := range delays {
+			d := Time(d)
+			if d > maxd {
+				maxd = d
+			}
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || e.Now() == maxd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}

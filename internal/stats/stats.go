@@ -1,0 +1,307 @@
+// Package stats provides the small numeric toolkit shared by the device
+// models, the performance model, and the experiment harness: streaming
+// summaries, percentiles, histograms, and simple series utilities.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of float64 observations and reports moments
+// without retaining samples. It uses Welford's online algorithm for
+// numerically stable variance.
+type Summary struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	s.sum += x
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() uint64 { return s.n }
+
+// Mean returns the running mean (0 if empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Sum returns the running sum.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Min returns the minimum observation (0 if empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the maximum observation (0 if empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the sample variance (0 for n < 2).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Reset clears the summary.
+func (s *Summary) Reset() { *s = Summary{} }
+
+// String renders a compact human-readable summary.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f max=%.3f",
+		s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Sample retains all observations for exact percentile queries. Appropriate
+// for per-window latency sets, not unbounded streams.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns the raw observations (not a copy; callers must not mutate).
+func (s *Sample) Values() []float64 { return s.xs }
+
+// Mean returns the arithmetic mean (0 if empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between closest ranks. Returns 0 if empty.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Reset clears the sample.
+func (s *Sample) Reset() { s.xs = s.xs[:0]; s.sorted = false }
+
+// Mean returns the arithmetic mean of xs (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// RMSD returns the root-mean-square deviation of xs from their mean. This
+// is the split criterion used by the regression tree (§4.4).
+func RMSD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// RMSE returns the root-mean-square error between predictions and truth.
+// The two slices must have equal length.
+func RMSE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("stats: RMSE length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range pred {
+		d := pred[i] - truth[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred)))
+}
+
+// MAPE returns the mean absolute percentage error between predictions and
+// truth, skipping zero-truth points. Result is a fraction (0.05 == 5%).
+func MAPE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("stats: MAPE length mismatch")
+	}
+	sum, n := 0.0, 0
+	for i := range pred {
+		if truth[i] == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-truth[i]) / math.Abs(truth[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Normalize divides every element by the maximum absolute value, returning
+// a new slice; an all-zero input returns a zero slice.
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	maxAbs := 0.0
+	for _, x := range xs {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / maxAbs
+	}
+	return out
+}
+
+// Correlation returns the Pearson correlation coefficient of two
+// equal-length series (0 if degenerate).
+func Correlation(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var num, da, db float64
+	for i := range a {
+		xa, xb := a[i]-ma, b[i]-mb
+		num += xa * xb
+		da += xa * xa
+		db += xb * xb
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}
+
+// Histogram is a fixed-width-bucket histogram over [lo, hi); values outside
+// the range are clamped into the edge buckets.
+type Histogram struct {
+	lo, hi  float64
+	width   float64
+	counts  []uint64
+	total   uint64
+	summary Summary
+}
+
+// NewHistogram creates a histogram with n buckets over [lo, hi). It panics
+// on invalid bounds or bucket counts.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), counts: make([]uint64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.summary.Add(x)
+	i := int((x - h.lo) / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Count returns the count in bucket i.
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// BucketLow returns the lower bound of bucket i.
+func (h *Histogram) BucketLow(i int) float64 { return h.lo + float64(i)*h.width }
+
+// Mean returns the mean of all observations added.
+func (h *Histogram) Mean() float64 { return h.summary.Mean() }
+
+// Quantile approximates the q-th quantile (q in [0,1]) from bucket counts.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.total))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			return h.BucketLow(i) + h.width/2
+		}
+	}
+	return h.hi
+}

@@ -1,0 +1,275 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummaryBasic(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almostEqual(s.Mean(), 5, 1e-9) {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample variance of this classic set is 32/7.
+	if !almostEqual(s.Variance(), 32.0/7.0, 1e-9) {
+		t.Fatalf("variance = %v", s.Variance())
+	}
+	if s.Sum() != 40 {
+		t.Fatalf("sum = %v", s.Sum())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Variance() != 0 || s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Fatal("single-element summary wrong")
+	}
+}
+
+func TestSummaryReset(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Add(2)
+	s.Reset()
+	if s.N() != 0 || s.Mean() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if !almostEqual(s.Median(), 50.5, 1e-9) {
+		t.Fatalf("median = %v", s.Median())
+	}
+	if !almostEqual(s.Percentile(0), 1, 1e-9) {
+		t.Fatalf("p0 = %v", s.Percentile(0))
+	}
+	if !almostEqual(s.Percentile(100), 100, 1e-9) {
+		t.Fatalf("p100 = %v", s.Percentile(100))
+	}
+	if s.Percentile(99) < 98 || s.Percentile(99) > 100 {
+		t.Fatalf("p99 = %v", s.Percentile(99))
+	}
+}
+
+func TestSampleAddAfterPercentile(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	s.Add(20)
+	_ = s.Median()
+	s.Add(1) // must re-sort internally
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 after re-add = %v, want 1", got)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Median() != 0 {
+		t.Fatal("empty sample not zero")
+	}
+}
+
+func TestMeanAndRMSD(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	// deviations: -1.5,-0.5,0.5,1.5 → mean square = (2.25+0.25)*2/4 = 1.25
+	if !almostEqual(RMSD(xs), math.Sqrt(1.25), 1e-12) {
+		t.Fatalf("rmsd = %v", RMSD(xs))
+	}
+	if RMSD(nil) != 0 || Mean(nil) != 0 {
+		t.Fatal("nil input not zero")
+	}
+	if RMSD([]float64{7, 7, 7}) != 0 {
+		t.Fatal("constant series RMSD != 0")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Fatalf("perfect prediction rmse = %v", got)
+	}
+	if got := RMSE([]float64{3}, []float64{0}); got != 3 {
+		t.Fatalf("rmse = %v", got)
+	}
+}
+
+func TestRMSEPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestMAPE(t *testing.T) {
+	got := MAPE([]float64{110, 90}, []float64{100, 100})
+	if !almostEqual(got, 0.1, 1e-12) {
+		t.Fatalf("mape = %v", got)
+	}
+	// zero-truth entries skipped
+	got = MAPE([]float64{5, 110}, []float64{0, 100})
+	if !almostEqual(got, 0.1, 1e-12) {
+		t.Fatalf("mape with zero truth = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{-2, 1, 4})
+	if !almostEqual(out[0], -0.5, 1e-12) || !almostEqual(out[2], 1, 1e-12) {
+		t.Fatalf("normalize = %v", out)
+	}
+	zero := Normalize([]float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("all-zero normalize wrong")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	if !almostEqual(Correlation(a, b), 1, 1e-12) {
+		t.Fatalf("perfect corr = %v", Correlation(a, b))
+	}
+	c := []float64{10, 8, 6, 4, 2}
+	if !almostEqual(Correlation(a, c), -1, 1e-12) {
+		t.Fatalf("inverse corr = %v", Correlation(a, c))
+	}
+	if Correlation(a, []float64{1, 1, 1, 1, 1}) != 0 {
+		t.Fatal("constant corr should be 0")
+	}
+	if Correlation(a, []float64{1}) != 0 {
+		t.Fatal("mismatched lengths should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Total() != 100 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Count(i) != 10 {
+			t.Fatalf("bucket %d count = %d, want 10", i, h.Count(i))
+		}
+	}
+	// Out-of-range values clamp to edge buckets.
+	h.Add(-5)
+	h.Add(500)
+	if h.Count(0) != 11 || h.Count(9) != 11 {
+		t.Fatal("clamping failed")
+	}
+	if h.Buckets() != 10 {
+		t.Fatalf("buckets = %d", h.Buckets())
+	}
+	if h.BucketLow(3) != 30 {
+		t.Fatalf("BucketLow(3) = %v", h.BucketLow(3))
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	med := h.Quantile(0.5)
+	if med < 4 || med > 7 {
+		t.Fatalf("median approx = %v", med)
+	}
+	if NewHistogram(0, 1, 1).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+}
+
+func TestHistogramPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on hi <= lo")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+// Property: Summary mean/min/max agree with direct computation.
+func TestSummaryMatchesDirectProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			clean = append(clean, x)
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var s Summary
+		mn, mx := clean[0], clean[0]
+		for _, x := range clean {
+			s.Add(x)
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+		scale := math.Max(1, math.Abs(Mean(clean)))
+		return s.Min() == mn && s.Max() == mx &&
+			almostEqual(s.Mean(), Mean(clean), 1e-6*scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Percentile is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, p1, p2 float64) bool {
+		var s Sample
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		p1 = math.Mod(math.Abs(p1), 100)
+		p2 = math.Mod(math.Abs(p2), 100)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return s.Percentile(p1) <= s.Percentile(p2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}

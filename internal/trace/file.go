@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Entry is one record of a persisted I/O trace: what was issued when, and
+// (optionally) the observed latency. This is the interchange format of
+// cmd/tracegen and the open-loop replayer.
+type Entry struct {
+	Issue   sim.Time
+	Op      Op
+	Offset  int64
+	Size    int64
+	Latency sim.Time // 0 when not recorded
+}
+
+// Header is the CSV header line written before entries.
+const Header = "issue_ns,op,offset,size,latency_ns"
+
+// WriteEntries writes a trace as CSV, header included.
+func WriteEntries(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, Header); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(bw, "%d,%s,%d,%d,%d\n",
+			int64(e.Issue), e.Op, e.Offset, e.Size, int64(e.Latency)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEntries parses a CSV trace produced by WriteEntries / cmd/tracegen.
+// The header line is optional; malformed lines produce an error naming
+// the line number.
+func ReadEntries(r io.Reader) ([]Entry, error) {
+	var entries []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line == Header {
+			continue
+		}
+		e, err := parseEntry(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return entries, nil
+}
+
+func parseEntry(line string) (Entry, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) != 5 {
+		return Entry{}, fmt.Errorf("want 5 fields, got %d", len(fields))
+	}
+	issue, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("issue: %w", err)
+	}
+	var op Op
+	switch fields[1] {
+	case "read":
+		op = OpRead
+	case "write":
+		op = OpWrite
+	default:
+		return Entry{}, fmt.Errorf("unknown op %q", fields[1])
+	}
+	offset, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("offset: %w", err)
+	}
+	size, err := strconv.ParseInt(fields[3], 10, 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("size: %w", err)
+	}
+	lat, err := strconv.ParseInt(fields[4], 10, 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("latency: %w", err)
+	}
+	if size <= 0 || offset < 0 || issue < 0 || lat < 0 {
+		return Entry{}, fmt.Errorf("negative or zero field in %q", line)
+	}
+	return Entry{Issue: sim.Time(issue), Op: op, Offset: offset, Size: size, Latency: sim.Time(lat)}, nil
+}

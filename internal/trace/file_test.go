@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	in := []Entry{
+		{Issue: 0, Op: OpWrite, Offset: 4096, Size: 8192, Latency: 1500},
+		{Issue: 100, Op: OpRead, Offset: 0, Size: 4096, Latency: 60000},
+	}
+	var b strings.Builder
+	if err := WriteEntries(&b, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadEntries(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip length %d != %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadSkipsHeaderAndBlanks(t *testing.T) {
+	src := Header + "\n\n0,read,0,4096,100\n\n"
+	out, err := ReadEntries(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("entries = %d", len(out))
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"1,read,0,4096",          // too few fields
+		"1,erase,0,4096,10",      // unknown op
+		"x,read,0,4096,10",       // bad int
+		"1,read,-5,4096,10",      // negative offset
+		"1,read,0,0,10",          // zero size
+		"1,read,0,4096,10,extra", // too many fields
+	}
+	for _, c := range cases {
+		if _, err := ReadEntries(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted malformed line %q", c)
+		}
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	out, err := ReadEntries(strings.NewReader(""))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty input: %v, %d entries", err, len(out))
+	}
+}
+
+// Property: any generated entry list round-trips exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []struct {
+		Issue  uint32
+		Write  bool
+		Offset uint32
+		Size   uint16
+		Lat    uint32
+	}) bool {
+		in := make([]Entry, 0, len(raw))
+		for _, r := range raw {
+			op := OpRead
+			if r.Write {
+				op = OpWrite
+			}
+			in = append(in, Entry{
+				Issue: sim.Time(r.Issue), Op: op,
+				Offset: int64(r.Offset), Size: int64(r.Size) + 1,
+				Latency: sim.Time(r.Lat),
+			})
+		}
+		var b strings.Builder
+		if err := WriteEntries(&b, in); err != nil {
+			return false
+		}
+		out, err := ReadEntries(strings.NewReader(b.String()))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}

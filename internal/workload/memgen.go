@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// MemGen drives a DRAM DIMM with the memory traffic of a SPEC-style
+// co-runner. Traffic is issued in aggregated cacheline bursts (one engine
+// event per Aggregation cachelines) so minutes-scale simulations stay
+// tractable while channel occupancy — the quantity bus contention depends
+// on — is preserved.
+type MemGen struct {
+	eng     *sim.Engine
+	rng     *sim.RNG
+	dimm    *dram.DIMM
+	profile MemProfile
+
+	// Aggregation is cachelines per issued burst (default 16).
+	Aggregation int
+	// Scale multiplies the profile's access rate (default 1).
+	Scale float64
+
+	running     bool
+	issued      uint64
+	addr        uint64
+	outstanding int
+	waiting     bool
+
+	// MaxOutstanding caps in-flight bursts so an over-subscribed profile
+	// self-throttles at channel capacity instead of growing the
+	// transaction queue without bound (default 64, ~ half the Table 4
+	// DRAM transaction-queue depth in burst units).
+	MaxOutstanding int
+}
+
+// NewMemGen builds a generator for the DIMM.
+func NewMemGen(eng *sim.Engine, rng *sim.RNG, dimm *dram.DIMM, p MemProfile) *MemGen {
+	return &MemGen{eng: eng, rng: rng, dimm: dimm, profile: p, Aggregation: 16, Scale: 1, MaxOutstanding: 64}
+}
+
+// Profile returns the generator's profile.
+func (g *MemGen) Profile() MemProfile { return g.profile }
+
+// Issued returns the number of cacheline accesses generated.
+func (g *MemGen) Issued() uint64 { return g.issued }
+
+// phaseFactor returns the intensity multiplier at time t according to the
+// memory/compute phase alternation.
+func (g *MemGen) phaseFactor(t sim.Time) float64 {
+	p := g.profile
+	if p.PhasePeriod <= 0 {
+		return 1
+	}
+	phase := float64(t%p.PhasePeriod) / float64(p.PhasePeriod)
+	if phase < p.PhaseDuty {
+		return p.HighFactor
+	}
+	return p.LowFactor
+}
+
+// InMemoryPhase reports whether t falls in the memory-intensive phase.
+func (g *MemGen) InMemoryPhase(t sim.Time) bool {
+	p := g.profile
+	if p.PhasePeriod <= 0 {
+		return true
+	}
+	return float64(t%p.PhasePeriod)/float64(p.PhasePeriod) < p.PhaseDuty
+}
+
+// Start begins generating until Stop.
+func (g *MemGen) Start() {
+	if g.running {
+		return
+	}
+	g.running = true
+	g.tick()
+}
+
+// Stop ceases generation.
+func (g *MemGen) Stop() { g.running = false }
+
+// tick issues one aggregated burst and schedules the next.
+func (g *MemGen) tick() {
+	if !g.running {
+		return
+	}
+	if g.outstanding >= g.MaxOutstanding {
+		// Saturated: resume from the next burst completion.
+		g.waiting = true
+		return
+	}
+	now := g.eng.Now()
+	rate := g.profile.AccessesPerSecond(g.Scale) * g.phaseFactor(now)
+	if rate <= 0 {
+		// Idle phase: re-check at the next phase boundary.
+		g.eng.Schedule(g.profile.PhasePeriod/8+sim.Microsecond, g.tick)
+		return
+	}
+	// Inter-burst gap so that Aggregation cachelines per burst hits the
+	// target rate.
+	gapNS := float64(g.Aggregation) / rate * 1e9
+	gap := sim.Time(gapNS)
+	if gap < 1 {
+		gap = 1
+	}
+
+	op := trace.MemRead
+	if g.rng.Float64() < g.profile.WPKI/g.profile.APKI() {
+		op = trace.MemWrite
+	}
+	// Mostly-streaming addresses with occasional random jumps, giving a
+	// realistic row-hit mix.
+	if g.rng.Bool(0.2) {
+		g.addr = g.rng.Uint64() & ((1 << 33) - 1)
+	} else {
+		g.addr += 64 * uint64(g.Aggregation)
+	}
+	g.issued += uint64(g.Aggregation)
+	g.outstanding++
+	g.dimm.AccessBurst(trace.MemRequest{Op: op, Addr: g.addr, At: now}, g.Aggregation, func(sim.Time) {
+		g.outstanding--
+		if g.waiting {
+			g.waiting = false
+			g.tick()
+		}
+	})
+	g.eng.Schedule(gap, g.tick)
+}

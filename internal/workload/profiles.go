@@ -1,0 +1,142 @@
+// Package workload provides the workload substrate replacing the paper's
+// HiBench applications and SPEC CPU2006 traces: synthetic I/O generators
+// parameterized by workload characteristics, per-application profiles for
+// the eight big-data benchmarks of Table 5, and memory-traffic generators
+// with the RPKI/WPKI of the three SPEC applications.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Profile describes an I/O workload's characteristics — the knobs that map
+// directly onto the paper's WC vector (Eq. 2).
+type Profile struct {
+	// Name identifies the workload.
+	Name string
+	// WriteRatio is the fraction of requests that are writes.
+	WriteRatio float64
+	// ReadRand / WriteRand are the probabilities a read/write jumps to a
+	// random offset instead of continuing sequentially.
+	ReadRand  float64
+	WriteRand float64
+	// IOSize is the request size in bytes.
+	IOSize int64
+	// OIO is the closed-loop outstanding-request target.
+	OIO int
+	// Footprint is the addressable byte range of the workload's VMDK.
+	Footprint int64
+	// ThinkTime is the delay between a completion and the next issue on
+	// that slot (models compute between I/Os).
+	ThinkTime sim.Time
+	// Skew, when > 0, draws random offsets from a Zipf-like power-law
+	// over the footprint instead of uniformly (0.99 ≈ YCSB-style hot
+	// spots). 0 keeps uniform jumps.
+	Skew float64
+	// Persistent marks writes as persistent-store writes that respect
+	// barriers; BarrierEvery inserts a barrier after that many writes.
+	Persistent   bool
+	BarrierEvery int
+}
+
+// Validate reports profile errors.
+func (p Profile) Validate() error {
+	if p.WriteRatio < 0 || p.WriteRatio > 1 || p.ReadRand < 0 || p.ReadRand > 1 ||
+		p.WriteRand < 0 || p.WriteRand > 1 {
+		return fmt.Errorf("workload %q: ratio out of [0,1]", p.Name)
+	}
+	if p.IOSize <= 0 || p.OIO <= 0 || p.Footprint <= 0 {
+		return fmt.Errorf("workload %q: non-positive size/oio/footprint", p.Name)
+	}
+	if p.Skew < 0 || p.Skew >= 1 {
+		return fmt.Errorf("workload %q: skew out of [0,1)", p.Name)
+	}
+	return nil
+}
+
+const (
+	kib = int64(1) << 10
+	mib = int64(1) << 20
+	gib = int64(1) << 30
+)
+
+// BigDataApps returns the eight HiBench-style application profiles of
+// Table 5. Parameters are derived from each application's I/O behaviour:
+// dfsioe_* stream large sequential HDFS files; sort/wordcount shuffle
+// large sequential runs; bayes/pagerank/nutchindexing do random small-ish
+// accesses; kmeans re-scans its sample set. Think times interleave
+// compute with I/O so the aggregate demand (~600-800 MB/s across all
+// eight) is realistic for the simulated hierarchy rather than an
+// open-loop flood.
+func BigDataApps() []Profile {
+	return []Profile{
+		{Name: "bayes", WriteRatio: 0.30, ReadRand: 0.70, WriteRand: 0.50, IOSize: 16 * kib, OIO: 8, Footprint: 4 * gib, ThinkTime: 4 * sim.Millisecond},
+		{Name: "dfsioe_r", WriteRatio: 0.05, ReadRand: 0.05, WriteRand: 0.20, IOSize: 256 * kib, OIO: 16, Footprint: 24 * gib, ThinkTime: 14 * sim.Millisecond},
+		{Name: "dfsioe_w", WriteRatio: 0.95, ReadRand: 0.20, WriteRand: 0.05, IOSize: 256 * kib, OIO: 16, Footprint: 24 * gib, ThinkTime: 28 * sim.Millisecond},
+		{Name: "kmeans", WriteRatio: 0.15, ReadRand: 0.30, WriteRand: 0.40, IOSize: 64 * kib, OIO: 8, Footprint: 6 * gib, ThinkTime: 9 * sim.Millisecond},
+		{Name: "nutchindexing", WriteRatio: 0.60, ReadRand: 0.60, WriteRand: 0.70, IOSize: 8 * kib, OIO: 12, Footprint: 2 * gib, ThinkTime: 5 * sim.Millisecond},
+		{Name: "pagerank", WriteRatio: 0.25, ReadRand: 0.80, WriteRand: 0.60, IOSize: 8 * kib, OIO: 12, Footprint: 8 * gib, ThinkTime: 4 * sim.Millisecond},
+		{Name: "sort", WriteRatio: 0.50, ReadRand: 0.15, WriteRand: 0.15, IOSize: 128 * kib, OIO: 16, Footprint: 12 * gib, ThinkTime: 17 * sim.Millisecond},
+		{Name: "wordcount", WriteRatio: 0.10, ReadRand: 0.10, WriteRand: 0.30, IOSize: 64 * kib, OIO: 8, Footprint: 10 * gib, ThinkTime: 6 * sim.Millisecond},
+	}
+}
+
+// AppProfile returns the named big-data profile, or false.
+func AppProfile(name string) (Profile, bool) {
+	for _, p := range BigDataApps() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// MemProfile describes a memory-intensive co-runner in terms of the
+// paper's RPKI/WPKI metrics (Table 5) and the phase alternation between
+// memory-bound and compute-bound execution that produces the periodic
+// NVDIMM-latency fluctuation of Fig. 4.
+type MemProfile struct {
+	Name string
+	RPKI float64 // memory reads per kilo-instruction
+	WPKI float64 // memory writes per kilo-instruction
+	// PhasePeriod is the memory/compute alternation period.
+	PhasePeriod sim.Time
+	// PhaseDuty is the fraction of the period spent memory-intensive.
+	PhaseDuty float64
+	// HighFactor and LowFactor scale the base rate inside/outside the
+	// memory-intensive phase.
+	HighFactor float64
+	LowFactor  float64
+}
+
+// SPECProfiles returns the three SPEC CPU2006 co-runner profiles with the
+// Table 5 RPKI/WPKI values.
+func SPECProfiles() []MemProfile {
+	return []MemProfile{
+		{Name: "429.mcf", RPKI: 40.58, WPKI: 15.42, PhasePeriod: 20 * sim.Millisecond, PhaseDuty: 0.5, HighFactor: 1.6, LowFactor: 0.3},
+		{Name: "470.lbm", RPKI: 22.68, WPKI: 13.28, PhasePeriod: 25 * sim.Millisecond, PhaseDuty: 0.5, HighFactor: 1.5, LowFactor: 0.4},
+		{Name: "433.milc", RPKI: 1.82, WPKI: 1.44, PhasePeriod: 30 * sim.Millisecond, PhaseDuty: 0.5, HighFactor: 1.4, LowFactor: 0.5},
+	}
+}
+
+// SPECProfile returns the named SPEC profile, or false.
+func SPECProfile(name string) (MemProfile, bool) {
+	for _, p := range SPECProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return MemProfile{}, false
+}
+
+// APKI returns total memory accesses per kilo-instruction.
+func (m MemProfile) APKI() float64 { return m.RPKI + m.WPKI }
+
+// AccessesPerSecond converts APKI to a memory-access rate assuming the
+// Table 4 CPU (2 GHz, IPC≈1) scaled by the given factor.
+func (m MemProfile) AccessesPerSecond(scale float64) float64 {
+	const instrPerSec = 2e9
+	return m.APKI() / 1000 * instrPerSec * scale
+}

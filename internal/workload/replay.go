@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Replayer drives a target with a recorded trace, open-loop: each entry
+// issues at its original timestamp (offset by Start time) regardless of
+// completions, reproducing the recorded arrival process exactly.
+type Replayer struct {
+	eng     *sim.Engine
+	target  Target
+	entries []trace.Entry
+	id      int
+
+	issued    uint64
+	completed uint64
+	latency   sim.Time
+	inFlight  int
+}
+
+// NewReplayer builds a replayer over the entries (sorted by issue time if
+// not already).
+func NewReplayer(eng *sim.Engine, entries []trace.Entry, target Target, id int) *Replayer {
+	es := append([]trace.Entry(nil), entries...)
+	sort.SliceStable(es, func(i, j int) bool { return es[i].Issue < es[j].Issue })
+	return &Replayer{eng: eng, target: target, entries: es, id: id}
+}
+
+// Len returns the number of entries to replay.
+func (r *Replayer) Len() int { return len(r.entries) }
+
+// Start schedules every entry relative to the current simulated time.
+func (r *Replayer) Start() {
+	if len(r.entries) == 0 {
+		return
+	}
+	base := r.entries[0].Issue
+	for i := range r.entries {
+		e := r.entries[i]
+		r.eng.Schedule(e.Issue-base, func() { r.issueOne(e) })
+	}
+}
+
+func (r *Replayer) issueOne(e trace.Entry) {
+	r.issued++
+	r.inFlight++
+	req := &trace.IORequest{
+		ID:       r.issued,
+		Op:       e.Op,
+		Offset:   e.Offset,
+		Size:     e.Size,
+		Workload: r.id,
+		VMDK:     -1,
+	}
+	r.target.Submit(req, func(done *trace.IORequest) {
+		r.inFlight--
+		r.completed++
+		r.latency += done.Latency()
+	})
+}
+
+// Issued returns requests issued so far.
+func (r *Replayer) Issued() uint64 { return r.issued }
+
+// Completed returns completions observed.
+func (r *Replayer) Completed() uint64 { return r.completed }
+
+// InFlight returns outstanding requests.
+func (r *Replayer) InFlight() int { return r.inFlight }
+
+// MeanLatency returns the mean completion latency so far.
+func (r *Replayer) MeanLatency() sim.Time {
+	if r.completed == 0 {
+		return 0
+	}
+	return r.latency / sim.Time(r.completed)
+}

@@ -1,0 +1,386 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/device"
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// fakeTarget completes requests after a fixed delay.
+type fakeTarget struct {
+	eng      *sim.Engine
+	delay    sim.Time
+	seen     []*trace.IORequest
+	barriers int
+}
+
+func (f *fakeTarget) Submit(r *trace.IORequest, done device.Completion) {
+	r.Issue = f.eng.Now()
+	f.seen = append(f.seen, r)
+	f.eng.Schedule(f.delay, func() {
+		r.Complete = f.eng.Now()
+		if done != nil {
+			done(r)
+		}
+	})
+}
+
+func (f *fakeTarget) Barrier() { f.barriers++ }
+
+func TestProfileValidate(t *testing.T) {
+	good := Profile{Name: "x", WriteRatio: 0.5, IOSize: 4096, OIO: 4, Footprint: 1 << 20}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good profile rejected: %v", err)
+	}
+	bad := good
+	bad.WriteRatio = 1.5
+	if bad.Validate() == nil {
+		t.Fatal("bad write ratio accepted")
+	}
+	bad = good
+	bad.OIO = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero OIO accepted")
+	}
+}
+
+func TestBigDataAppsComplete(t *testing.T) {
+	apps := BigDataApps()
+	if len(apps) != 8 {
+		t.Fatalf("apps = %d, want 8 (Table 5)", len(apps))
+	}
+	names := map[string]bool{}
+	for _, p := range apps {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("profile %s invalid: %v", p.Name, err)
+		}
+		names[p.Name] = true
+	}
+	for _, want := range []string{"bayes", "dfsioe_r", "dfsioe_w", "kmeans", "nutchindexing", "pagerank", "sort", "wordcount"} {
+		if !names[want] {
+			t.Fatalf("missing app %s", want)
+		}
+	}
+	if _, ok := AppProfile("sort"); !ok {
+		t.Fatal("AppProfile lookup failed")
+	}
+	if _, ok := AppProfile("nope"); ok {
+		t.Fatal("AppProfile found nonexistent app")
+	}
+}
+
+func TestSPECProfilesMatchTable5(t *testing.T) {
+	mcf, ok := SPECProfile("429.mcf")
+	if !ok || mcf.RPKI != 40.58 || mcf.WPKI != 15.42 {
+		t.Fatalf("mcf = %+v", mcf)
+	}
+	lbm, _ := SPECProfile("470.lbm")
+	milc, _ := SPECProfile("433.milc")
+	if !(mcf.APKI() > lbm.APKI() && lbm.APKI() > milc.APKI()) {
+		t.Fatal("intensity ordering mcf > lbm > milc violated")
+	}
+	if _, ok := SPECProfile("999.fake"); ok {
+		t.Fatal("found nonexistent SPEC profile")
+	}
+}
+
+func TestAccessesPerSecond(t *testing.T) {
+	m := MemProfile{RPKI: 10, WPKI: 5}
+	// 15 APKI × 2e9/1e3 = 3e7.
+	if got := m.AccessesPerSecond(1); got != 3e7 {
+		t.Fatalf("rate = %v", got)
+	}
+	if got := m.AccessesPerSecond(2); got != 6e7 {
+		t.Fatalf("scaled rate = %v", got)
+	}
+}
+
+func TestRunnerMaintainsOIO(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := &fakeTarget{eng: eng, delay: 100 * sim.Microsecond}
+	p := Profile{Name: "t", WriteRatio: 0.5, IOSize: 4096, OIO: 8, Footprint: 1 << 30}
+	r := NewRunner(eng, sim.NewRNG(1), p, ft, 3)
+	r.Start()
+	if r.InFlight() != 8 {
+		t.Fatalf("in flight after start = %d, want 8", r.InFlight())
+	}
+	eng.RunFor(2 * sim.Millisecond)
+	if r.InFlight() != 8 {
+		t.Fatalf("in flight steady state = %d, want 8", r.InFlight())
+	}
+	r.Stop()
+	eng.Run()
+	if r.InFlight() != 0 {
+		t.Fatalf("in flight after stop+drain = %d", r.InFlight())
+	}
+	if r.Completed() != r.Issued() {
+		t.Fatalf("completed %d != issued %d", r.Completed(), r.Issued())
+	}
+	if r.MeanLatency() != 100*sim.Microsecond {
+		t.Fatalf("mean latency = %v", r.MeanLatency())
+	}
+}
+
+func TestRunnerTagsRequests(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := &fakeTarget{eng: eng, delay: 10}
+	p := Profile{Name: "t", WriteRatio: 1, IOSize: 4096, OIO: 1, Footprint: 1 << 20}
+	r := NewRunner(eng, sim.NewRNG(1), p, ft, 7)
+	r.Start()
+	eng.RunFor(1000)
+	r.Stop()
+	eng.Run()
+	for _, req := range ft.seen {
+		if req.Workload != 7 {
+			t.Fatalf("workload tag = %d", req.Workload)
+		}
+		if req.Op != trace.OpWrite {
+			t.Fatal("write-ratio-1 profile issued a read")
+		}
+	}
+}
+
+func TestRunnerWriteRatioConverges(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := &fakeTarget{eng: eng, delay: 10}
+	p := Profile{Name: "t", WriteRatio: 0.25, IOSize: 4096, OIO: 4, Footprint: 1 << 30}
+	r := NewRunner(eng, sim.NewRNG(42), p, ft, 0)
+	r.Start()
+	eng.RunFor(200 * sim.Microsecond)
+	r.Stop()
+	eng.Run()
+	writes := 0
+	for _, req := range ft.seen {
+		if req.Op == trace.OpWrite {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(len(ft.seen))
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("write fraction = %v over %d reqs, want ~0.25", frac, len(ft.seen))
+	}
+}
+
+func TestRunnerSequentialVsRandomStreams(t *testing.T) {
+	issue := func(randProb float64) (random int) {
+		eng := sim.NewEngine()
+		ft := &fakeTarget{eng: eng, delay: 10}
+		p := Profile{Name: "t", WriteRatio: 0, ReadRand: randProb, IOSize: 4096, OIO: 1, Footprint: 1 << 30}
+		r := NewRunner(eng, sim.NewRNG(5), p, ft, 0)
+		r.Start()
+		eng.RunFor(10 * sim.Microsecond)
+		r.Stop()
+		eng.Run()
+		for i := 1; i < len(ft.seen); i++ {
+			if ft.seen[i].Offset != ft.seen[i-1].Offset+4096 {
+				random++
+			}
+		}
+		return random
+	}
+	if issue(0) != 0 {
+		t.Fatal("fully sequential profile produced jumps")
+	}
+	if issue(1) == 0 {
+		t.Fatal("fully random profile produced no jumps")
+	}
+}
+
+func TestRunnerBarriers(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := &fakeTarget{eng: eng, delay: 10}
+	p := Profile{Name: "t", WriteRatio: 1, IOSize: 4096, OIO: 1, Footprint: 1 << 20,
+		Persistent: true, BarrierEvery: 5}
+	r := NewRunner(eng, sim.NewRNG(1), p, ft, 0)
+	r.Start()
+	eng.RunFor(1000)
+	r.Stop()
+	eng.Run()
+	writes := len(ft.seen)
+	if ft.barriers != writes/5 {
+		t.Fatalf("barriers = %d for %d writes, want %d", ft.barriers, writes, writes/5)
+	}
+	for _, req := range ft.seen {
+		if req.Class != trace.ClassPersistent {
+			t.Fatal("persistent profile issued non-persistent write")
+		}
+	}
+}
+
+func TestRunnerOffsetsWithinFootprint(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := &fakeTarget{eng: eng, delay: 5}
+	p := Profile{Name: "t", WriteRatio: 0.5, ReadRand: 0.5, WriteRand: 0.5,
+		IOSize: 8192, OIO: 4, Footprint: 1 << 20}
+	r := NewRunner(eng, sim.NewRNG(9), p, ft, 0)
+	r.Start()
+	eng.RunFor(50 * sim.Microsecond)
+	r.Stop()
+	eng.Run()
+	for _, req := range ft.seen {
+		if req.Offset < 0 || req.Offset+req.Size > p.Footprint {
+			t.Fatalf("request out of footprint: off=%d size=%d", req.Offset, req.Size)
+		}
+	}
+}
+
+func TestNewRunnerPanicsOnInvalidProfile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewRunner(sim.NewEngine(), sim.NewRNG(1), Profile{}, nil, 0)
+}
+
+func TestMemGenGeneratesTraffic(t *testing.T) {
+	eng := sim.NewEngine()
+	ch := bus.NewChannel(eng, 0)
+	d := dram.New(eng, ch, dram.DefaultConfig())
+	mcf, _ := SPECProfile("429.mcf")
+	g := NewMemGen(eng, sim.NewRNG(3), d, mcf)
+	g.Start()
+	eng.RunFor(sim.Millisecond)
+	g.Stop()
+	if g.Issued() == 0 {
+		t.Fatal("no traffic generated")
+	}
+	if d.Intensity().Total() != g.Issued() {
+		t.Fatalf("DIMM saw %d accesses, generator issued %d", d.Intensity().Total(), g.Issued())
+	}
+}
+
+func TestMemGenPhaseModulation(t *testing.T) {
+	eng := sim.NewEngine()
+	ch := bus.NewChannel(eng, 0)
+	d := dram.New(eng, ch, dram.DefaultConfig())
+	p := MemProfile{Name: "x", RPKI: 20, WPKI: 10, PhasePeriod: 10 * sim.Millisecond,
+		PhaseDuty: 0.5, HighFactor: 2, LowFactor: 0.1}
+	g := NewMemGen(eng, sim.NewRNG(3), d, p)
+	g.Start()
+
+	eng.RunFor(5 * sim.Millisecond) // memory-intensive half
+	highCount := d.Intensity().Total()
+	d.Intensity().Reset()
+	eng.RunFor(5 * sim.Millisecond) // compute half
+	lowCount := d.Intensity().Total()
+	g.Stop()
+
+	if highCount <= 3*lowCount {
+		t.Fatalf("phase modulation weak: high=%d low=%d", highCount, lowCount)
+	}
+	if !g.InMemoryPhase(0) || g.InMemoryPhase(6*sim.Millisecond) {
+		t.Fatal("InMemoryPhase misreports phases")
+	}
+}
+
+func TestMemGenIntensityOrdering(t *testing.T) {
+	// mcf generates more traffic than milc in the same window.
+	count := func(name string) uint64 {
+		eng := sim.NewEngine()
+		ch := bus.NewChannel(eng, 0)
+		d := dram.New(eng, ch, dram.DefaultConfig())
+		p, _ := SPECProfile(name)
+		g := NewMemGen(eng, sim.NewRNG(3), d, p)
+		g.Start()
+		eng.RunFor(2 * sim.Millisecond)
+		g.Stop()
+		return g.Issued()
+	}
+	if count("429.mcf") <= count("433.milc") {
+		t.Fatal("mcf should out-traffic milc")
+	}
+}
+
+func TestMemGenSlowsNVDIMMTraffic(t *testing.T) {
+	// End-to-end contention: IO acquisitions on a channel wait longer when
+	// a memory generator is hammering it.
+	ioWait := func(withMem bool) float64 {
+		eng := sim.NewEngine()
+		ch := bus.NewChannel(eng, 0)
+		d := dram.New(eng, ch, dram.DefaultConfig())
+		if withMem {
+			mcf, _ := SPECProfile("429.mcf")
+			g := NewMemGen(eng, sim.NewRNG(3), d, mcf)
+			g.Start()
+		}
+		// Issue a stream of IO transfers.
+		var issue func()
+		count := 0
+		issue = func() {
+			if count >= 100 {
+				return
+			}
+			count++
+			ch.Acquire(bus.PriIO, bus.TransferTime(4096), func(sim.Time) {
+				eng.Schedule(5*sim.Microsecond, issue)
+			})
+		}
+		issue()
+		eng.RunFor(5 * sim.Millisecond)
+		return ch.MeanWaitUS(bus.PriIO)
+	}
+	quiet := ioWait(false)
+	contended := ioWait(true)
+	if contended <= quiet {
+		t.Fatalf("IO wait with memory traffic (%v) should exceed quiet (%v)", contended, quiet)
+	}
+}
+
+func TestSkewConcentratesAccesses(t *testing.T) {
+	hotFraction := func(skew float64) float64 {
+		eng := sim.NewEngine()
+		ft := &fakeTarget{eng: eng, delay: 5}
+		p := Profile{Name: "t", WriteRatio: 0, ReadRand: 1, IOSize: 4096,
+			OIO: 4, Footprint: 1 << 30, Skew: skew}
+		r := NewRunner(eng, sim.NewRNG(9), p, ft, 0)
+		r.Start()
+		eng.RunFor(100 * sim.Microsecond)
+		r.Stop()
+		eng.Run()
+		hot := 0
+		for _, req := range ft.seen {
+			if req.Offset < (1<<30)/10 { // first 10% of the footprint
+				hot++
+			}
+		}
+		return float64(hot) / float64(len(ft.seen))
+	}
+	uniform := hotFraction(0)
+	skewed := hotFraction(0.9)
+	if uniform > 0.25 {
+		t.Fatalf("uniform hot fraction = %v, want ~0.1", uniform)
+	}
+	if skewed < 2*uniform {
+		t.Fatalf("skew 0.9 hot fraction = %v, want well above uniform %v", skewed, uniform)
+	}
+}
+
+func TestSkewValidation(t *testing.T) {
+	p := Profile{Name: "t", IOSize: 4096, OIO: 1, Footprint: 1 << 20, Skew: 1.0}
+	if p.Validate() == nil {
+		t.Fatal("skew 1.0 accepted")
+	}
+	p.Skew = -0.1
+	if p.Validate() == nil {
+		t.Fatal("negative skew accepted")
+	}
+	p.Skew = 0.99
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid skew rejected: %v", err)
+	}
+}
+
+func TestZipfOffsetBounds(t *testing.T) {
+	rng := sim.NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		off := zipfOffset(rng, 1000, 0.9)
+		if off < 0 || off >= 1000 {
+			t.Fatalf("zipf offset out of range: %d", off)
+		}
+	}
+}

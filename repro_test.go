@@ -1,0 +1,73 @@
+package repro
+
+import "testing"
+
+// TestFacadeSmoke exercises the public API end to end: build a BCA+Lazy
+// system with a memory co-runner, run it, and read the report.
+func TestFacadeSmoke(t *testing.T) {
+	model, err := TrainModel(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Options{
+		Scheme:     SchemeBCALazy(),
+		MemProfile: "429.mcf",
+		Apps:       []string{"bayes", "sort"},
+		Model:      model,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(100 * Millisecond)
+	rep := sys.Report()
+	if rep.Scheme != "BCA+Lazy" {
+		t.Fatalf("scheme = %q", rep.Scheme)
+	}
+	if rep.MeanIOPS <= 0 {
+		t.Fatal("no throughput")
+	}
+	if len(rep.DeviceMeanUS) != 3 {
+		t.Fatalf("devices = %d", len(rep.DeviceMeanUS))
+	}
+}
+
+// TestFacadeSchemes checks every exported scheme constructor is wired.
+func TestFacadeSchemes(t *testing.T) {
+	names := map[string]Scheme{
+		"BASIL":         SchemeBASIL(),
+		"Pesto":         SchemePesto(),
+		"LightSRM":      SchemeLightSRM(),
+		"BCA":           SchemeBCA(),
+		"BCA+Lazy":      SchemeBCALazy(),
+		"BCA+Lazy+Arch": SchemeFull(),
+	}
+	for want, s := range names {
+		if s.Name != want {
+			t.Fatalf("scheme name %q != %q", s.Name, want)
+		}
+	}
+}
+
+// TestFacadePolicies checks the scheduling-policy constructors.
+func TestFacadePolicies(t *testing.T) {
+	if SchedBaseline().MigratedIgnoreBarriers {
+		t.Fatal("baseline misdefined")
+	}
+	if !SchedPolicyOne().MigratedIgnoreBarriers {
+		t.Fatal("policy one misdefined")
+	}
+	if !SchedPolicyTwo().PrioritizePersistent {
+		t.Fatal("policy two misdefined")
+	}
+	c := SchedCombined(Millisecond)
+	if !c.NonPersistentBarrier || c.NPBDelay != Millisecond {
+		t.Fatal("combined misdefined")
+	}
+}
+
+// TestScalesDiffer sanity-checks the experiment scales.
+func TestScalesDiffer(t *testing.T) {
+	if QuickScale().RunTime >= FullScale().RunTime {
+		t.Fatal("quick scale should be shorter than full")
+	}
+}
