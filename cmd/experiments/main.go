@@ -7,6 +7,11 @@
 //	             fig7|fig9|fig12|fig13|fig14|fig15|fig16|fig17|tau|
 //	             placement|dax|ablations]
 //	            [-scale quick|full] [-seed N]
+//	            [-trace-out FILE] [-metrics-out FILE] [-sample-ms N]
+//
+// The telemetry flags instrument every system the selected experiments
+// build: spans from all of them land in one trace (tracks namespaced
+// "sys<k>.…" in construction order) and sampled metrics in one CSV.
 package main
 
 import (
@@ -20,13 +25,35 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/perfmodel"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, table1..table5, fig4..fig17, tau)")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	seed := flag.Uint64("seed", 99, "model-training seed")
+	traceOut := flag.String("trace-out", "", "write spans from every built system (Chrome trace JSON; .jsonl = line-delimited)")
+	metricsOut := flag.String("metrics-out", "", "write sampled metrics from every built system as CSV")
+	sampleMS := flag.Int("sample-ms", 25, "metric sampling interval in simulated milliseconds")
 	flag.Parse()
+
+	var tel *core.Telemetry
+	if *traceOut != "" || *metricsOut != "" {
+		tel = &core.Telemetry{}
+		if *traceOut != "" {
+			tel.Tracer = telemetry.NewTracer()
+		}
+		if *metricsOut != "" {
+			if *sampleMS <= 0 {
+				*sampleMS = 25
+			}
+			tel.Registry = telemetry.NewRegistry()
+			tel.Series = &telemetry.Series{}
+			tel.SampleEvery = sim.Time(*sampleMS) * sim.Millisecond
+		}
+		core.SetDefaultTelemetry(tel)
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -117,6 +144,50 @@ func main() {
 	if ran == 0 {
 		log.Fatalf("unknown experiment %q", *exp)
 	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tel.Tracer); err != nil {
+			log.Fatalf("trace export: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tel.Tracer.NumEvents(), *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := writeCSV(*metricsOut, tel.Series); err != nil {
+			log.Fatalf("metrics export: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d metric samples to %s\n", tel.Series.Len(), *metricsOut)
+	}
+}
+
+// writeTrace exports recorded spans: Chrome trace JSON by default, JSONL
+// when the path ends in .jsonl.
+func writeTrace(path string, tr *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tr.WriteJSONL(f)
+	} else {
+		err = tr.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeCSV exports the sampled metric time series.
+func writeCSV(path string, s *telemetry.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = s.WriteCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // stringResult adapts a plain string to fmt.Stringer.

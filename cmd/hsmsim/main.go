@@ -8,12 +8,21 @@
 //	       [-mem 429.mcf|470.lbm|433.milc] [-memscale F]
 //	       [-nodes N] [-duration MS] [-apps a,b,c] [-tau F] [-seed N]
 //	       [-bypass] [-sched baseline|p1|p2|both]
+//	       [-trace-out FILE] [-metrics-out FILE] [-sample-ms N] [-declog N]
+//
+// With -trace-out the run records per-request, bus, scheduler, and
+// migration spans and writes a Chrome trace_event file (load it in
+// chrome://tracing or https://ui.perfetto.dev); a path ending in .jsonl
+// writes line-delimited JSON instead. With -metrics-out the full metric
+// registry is sampled every -sample-ms of simulated time and written as
+// CSV.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"strings"
 
@@ -21,6 +30,7 @@ import (
 	"repro/internal/memsched"
 	"repro/internal/mgmt"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func schemeByName(name string) (mgmt.Scheme, error) {
@@ -70,6 +80,10 @@ func main() {
 	schedName := flag.String("sched", "baseline", "NVDIMM scheduling policy (baseline|p1|p2|both)")
 	dax := flag.Bool("dax", false, "enable the DAX byte-addressable NVDIMM path")
 	skew := flag.Float64("skew", 0, "Zipf-like workload hot-spot skew in [0,1)")
+	traceOut := flag.String("trace-out", "", "write request/migration spans (Chrome trace JSON; .jsonl = line-delimited)")
+	metricsOut := flag.String("metrics-out", "", "write the sampled metric time series as CSV")
+	sampleMS := flag.Int("sample-ms", 25, "metric sampling interval in simulated milliseconds")
+	decLog := flag.Int("declog", 1024, "management decision-log capacity (0 = off)")
 	flag.Parse()
 
 	scheme, err := schemeByName(*schemeName)
@@ -85,6 +99,22 @@ func main() {
 	cfg.Tau = *tau
 	cfg.Window = 10 * sim.Millisecond
 	cfg.MinWindowRequests = 3
+	cfg.DecisionLogCap = *decLog
+
+	var tel *core.Telemetry
+	if *traceOut != "" || *metricsOut != "" {
+		tel = &core.Telemetry{}
+		if *traceOut != "" {
+			tel.Tracer = telemetry.NewTracer()
+		}
+		if *metricsOut != "" {
+			if *sampleMS <= 0 {
+				*sampleMS = 25
+			}
+			tel.Registry = telemetry.NewRegistry()
+			tel.SampleEvery = sim.Time(*sampleMS) * sim.Millisecond
+		}
+	}
 
 	opts := core.Options{
 		Nodes:               *nodes,
@@ -97,6 +127,7 @@ func main() {
 		BypassMigratedReads: *bypass,
 		DAX:                 *dax,
 		WorkloadSkew:        *skew,
+		Telemetry:           tel,
 	}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
@@ -113,6 +144,55 @@ func main() {
 	fmt.Printf("running %s for %v (nodes=%d mem=%q)...\n", scheme.Name, dur, *nodes, *mem)
 	sys.Run(dur)
 	printReport(sys.Report())
+	if *decLog > 0 {
+		l := sys.Manager.Log()
+		fmt.Printf("decision log:        %d/%d entries, %d dropped\n", l.Len(), l.Cap(), l.Dropped())
+	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tel.Tracer); err != nil {
+			log.Fatalf("trace export: %v", err)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", tel.Tracer.NumEvents(), *traceOut)
+	}
+	if *metricsOut != "" {
+		series := sys.Sampler().Series()
+		if err := writeCSV(*metricsOut, series); err != nil {
+			log.Fatalf("metrics export: %v", err)
+		}
+		fmt.Printf("wrote %d metric samples to %s\n", series.Len(), *metricsOut)
+	}
+}
+
+// writeTrace exports recorded spans: Chrome trace JSON by default, JSONL
+// when the path ends in .jsonl.
+func writeTrace(path string, tr *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tr.WriteJSONL(f)
+	} else {
+		err = tr.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeCSV exports the sampled metric time series.
+func writeCSV(path string, s *telemetry.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = s.WriteCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func printReport(rep core.Report) {

@@ -7,8 +7,11 @@
 package bus
 
 import (
+	"fmt"
+
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Priority classes for channel arbitration. DRAM demand requests are
@@ -67,6 +70,12 @@ type Channel struct {
 	busyTime sim.Time
 	lastFree sim.Time
 	grants   [numPriorities]uint64
+
+	// tr, when set, records each granted I/O-class acquisition as a span
+	// covering queue wait + transfer (DRAM demand grants are too numerous
+	// to trace individually; their effect shows up as the I/O wait).
+	tr    *telemetry.Tracer
+	track string
 }
 
 // NewChannel creates a channel bound to the engine.
@@ -103,6 +112,10 @@ func (c *Channel) dispatch() {
 			c.queues[p] = c.queues[p][:len(c.queues[p])-1]
 			c.waitUS[p].Add((c.eng.Now() - g.queued).Micros())
 			c.grants[p]++
+			if c.tr != nil && p == PriIO {
+				c.tr.Complete(c.track, "xfer", "bus", g.queued, c.eng.Now()+g.hold,
+					telemetry.F("wait_us", (c.eng.Now()-g.queued).Micros()))
+			}
 			break
 		}
 	}
@@ -141,6 +154,24 @@ func (c *Channel) Utilization() float64 {
 		return 0
 	}
 	return float64(c.busyTime) / float64(now)
+}
+
+// SetTracer enables I/O-grant spans on the given track (nil disables).
+func (c *Channel) SetTracer(tr *telemetry.Tracer, track string) {
+	c.tr = tr
+	c.track = track
+}
+
+// RegisterTelemetry exposes the channel under prefix: utilization, mean
+// queue wait per class, and grant counts. The bus-contention signal of
+// Eq. 3 is io_wait_us_mean — the queuing NVDIMM transfers suffer behind
+// DRAM demand traffic.
+func (c *Channel) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.Gauge(prefix+"util", c.Utilization)
+	reg.Gauge(prefix+"io_wait_us_mean", func() float64 { return c.MeanWaitUS(PriIO) })
+	reg.Gauge(prefix+"mem_wait_us_mean", func() float64 { return c.MeanWaitUS(PriMem) })
+	reg.Gauge(prefix+"io_grants", func() float64 { return float64(c.grants[PriIO]) })
+	reg.Gauge(prefix+"mem_grants", func() float64 { return float64(c.grants[PriMem]) })
 }
 
 // ResetStats clears wait/grant statistics (not queue state).
@@ -192,6 +223,23 @@ func (ic *Interconnect) MeanIOWaitUS() float64 {
 		return 0
 	}
 	return sum / float64(n)
+}
+
+// RegisterTelemetry exposes every channel under prefix ("bus.ch<i>.")
+// plus the aggregate I/O wait.
+func (ic *Interconnect) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	for i, c := range ic.channels {
+		c.RegisterTelemetry(reg, fmt.Sprintf("%sch%d.", prefix, i))
+	}
+	reg.Gauge(prefix+"io_wait_us_mean", ic.MeanIOWaitUS)
+}
+
+// SetTracer enables I/O-grant spans on every channel, on tracks named
+// trackPrefix+"ch<i>".
+func (ic *Interconnect) SetTracer(tr *telemetry.Tracer, trackPrefix string) {
+	for i, c := range ic.channels {
+		c.SetTracer(tr, fmt.Sprintf("%sch%d", trackPrefix, i))
+	}
 }
 
 // ResetStats clears statistics on every channel.

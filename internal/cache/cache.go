@@ -8,6 +8,8 @@ package cache
 import (
 	"container/heap"
 	"math"
+
+	"repro/internal/telemetry"
 )
 
 // Victim describes an evicted block.
@@ -67,6 +69,14 @@ func (s *Stats) WindowHitRatio() float64 {
 
 // ResetWindow starts a new measurement window.
 func (s *Stats) ResetWindow() { s.WindowHits, s.WindowMisses = 0, 0 }
+
+// RegisterTelemetry exposes the counters under prefix (e.g.
+// "node0.nvdimm.cache."): lifetime hits, misses, and hit ratio.
+func (s *Stats) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.Gauge(prefix+"hits", func() float64 { return float64(s.Hits) })
+	reg.Gauge(prefix+"misses", func() float64 { return float64(s.Misses) })
+	reg.Gauge(prefix+"hit_ratio", s.HitRatio)
+}
 
 // ---------------------------------------------------------------------------
 // LRFU

@@ -20,6 +20,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
 	"repro/internal/ssd"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -70,6 +71,9 @@ type Options struct {
 	// WorkloadSkew applies a Zipf-like hot-spot distribution to every
 	// application's random accesses (0 = the profiles' uniform jumps).
 	WorkloadSkew float64
+	// Telemetry attaches observability sinks (nil = adopt the process
+	// default installed via SetDefaultTelemetry, or run uninstrumented).
+	Telemetry *Telemetry
 }
 
 func (o Options) withDefaults() Options {
@@ -152,6 +156,8 @@ type System struct {
 	rng       *sim.RNG
 	samples   []WindowSample
 	lastTotal map[int]uint64 // per-node intensity snapshot
+	tel       *Telemetry
+	sampler   *telemetry.Sampler
 }
 
 // NewSystem builds and wires a system; it trains the NVDIMM model when
@@ -225,6 +231,7 @@ func NewSystem(opts Options) (*System, error) {
 	if err := s.placeWorkloads(); err != nil {
 		return nil, err
 	}
+	s.wireTelemetry(adoptDefaultTelemetry(opts.Telemetry))
 	return s, nil
 }
 
@@ -299,13 +306,17 @@ func (s *System) observeEpoch(perfs []mgmt.StorePerf) {
 // Samples returns the recorded window series.
 func (s *System) Samples() []WindowSample { return s.samples }
 
-// Start launches workloads, memory traffic, and the manager.
+// Start launches workloads, memory traffic, the manager, and the
+// telemetry sampler.
 func (s *System) Start() {
 	for _, r := range s.Runners {
 		r.Start()
 	}
 	s.Cluster.StartMemTraffic()
 	s.Manager.Start()
+	if s.sampler != nil {
+		s.sampler.Start()
+	}
 }
 
 // Stop halts generation and management; in-flight work drains on the
@@ -316,6 +327,9 @@ func (s *System) Stop() {
 	}
 	s.Cluster.StopMemTraffic()
 	s.Manager.Stop()
+	if s.sampler != nil {
+		s.sampler.Stop()
+	}
 }
 
 // Run starts everything, runs d of simulated time, then stops and

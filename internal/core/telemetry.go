@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Telemetry bundles the observability sinks for a System. Any field may be
+// nil/zero: a nil Registry skips metric registration, a nil Tracer skips
+// span recording (the producer-side hooks then cost nothing), and a zero
+// SampleEvery disables the windowed sampler.
+type Telemetry struct {
+	// Registry receives every subsystem's counters, gauges, and latency
+	// histograms under Prefix.
+	Registry *telemetry.Registry
+	// Tracer receives request/migration/bus/scheduler spans.
+	Tracer *telemetry.Tracer
+	// Series is the sampler's row sink; shared across systems it merges
+	// their time series (columns distinguish them via Prefix).
+	Series *telemetry.Series
+	// SampleEvery is the simulated-time sampling interval (0 = off).
+	SampleEvery sim.Time
+	// Prefix namespaces this system's metrics and tracks (e.g. "sys0.").
+	Prefix string
+}
+
+// defaultTelemetry, when set, is adopted by every NewSystem whose Options
+// carry no explicit Telemetry. Each adopting system appends "sys<k>." to
+// the prefix so registries shared across sequentially built systems (the
+// experiments binary) never collide.
+var (
+	defaultTelemetry *Telemetry
+	defaultSeq       int
+)
+
+// SetDefaultTelemetry installs (or, with nil, clears) the process-wide
+// telemetry adopted by systems built without an explicit Options.Telemetry.
+func SetDefaultTelemetry(t *Telemetry) {
+	defaultTelemetry = t
+	defaultSeq = 0
+}
+
+// adoptDefaultTelemetry resolves the telemetry a new system should use.
+func adoptDefaultTelemetry(explicit *Telemetry) *Telemetry {
+	if explicit != nil {
+		return explicit
+	}
+	if defaultTelemetry == nil {
+		return nil
+	}
+	t := *defaultTelemetry
+	t.Prefix = fmt.Sprintf("%ssys%d.", t.Prefix, defaultSeq)
+	defaultSeq++
+	return &t
+}
+
+// wireTelemetry attaches the sinks to every subsystem of the assembled
+// system: per-node device stacks, memory interconnects, the storage
+// manager, and the workload runners. Called once from NewSystem after
+// placement, so all runners exist.
+func (s *System) wireTelemetry(t *Telemetry) {
+	if t == nil {
+		return
+	}
+	s.tel = t
+	pfx := t.Prefix
+	if reg := t.Registry; reg != nil {
+		for i, n := range s.Cluster.Nodes {
+			np := fmt.Sprintf("%snode%d.", pfx, i)
+			n.NVDIMM.RegisterTelemetry(reg, np+"nvdimm.")
+			n.SSD.RegisterTelemetry(reg, np+"ssd.")
+			n.HDD.RegisterTelemetry(reg, np+"hdd.")
+			n.IC.RegisterTelemetry(reg, np+"bus.")
+		}
+		s.Manager.RegisterTelemetry(reg, pfx+"mgmt.")
+		for _, r := range s.Runners {
+			// The runner ID keeps names unique when an app repeats in Apps.
+			r.RegisterTelemetry(reg, fmt.Sprintf("%swl%d.%s.", pfx, r.ID(), r.Profile().Name))
+		}
+		if t.SampleEvery > 0 {
+			s.sampler = telemetry.NewSampler(s.Cluster.Eng, reg, t.SampleEvery, t.Series)
+		}
+	}
+	if tr := t.Tracer; tr != nil {
+		for i, n := range s.Cluster.Nodes {
+			np := fmt.Sprintf("%snode%d.", pfx, i)
+			n.NVDIMM.SetTracer(tr, np+"nvdimm.")
+			n.SSD.Metrics().SetTracer(tr, np+"ssd.io")
+			n.HDD.Metrics().SetTracer(tr, np+"hdd.io")
+			n.IC.SetTracer(tr, np+"bus.")
+		}
+		s.Manager.SetTracer(tr, pfx+"mgmt")
+		for _, r := range s.Runners {
+			r.SetTracer(tr, fmt.Sprintf("%swl%d.%s", pfx, r.ID(), r.Profile().Name))
+		}
+	}
+}
+
+// Sampler returns the windowed sampler, or nil when sampling is off.
+func (s *System) Sampler() *telemetry.Sampler { return s.sampler }
+
+// Telemetry returns the sinks wired into the system (nil when none).
+func (s *System) Telemetry() *Telemetry { return s.tel }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -87,6 +88,11 @@ type Metrics struct {
 	ContentionUS float64
 	// LifetimeContentionUS accumulates contention across all windows.
 	LifetimeContentionUS float64
+
+	// Optional telemetry hooks; both nil unless wired (zero cost when off).
+	hist  *telemetry.Histogram
+	tr    *telemetry.Tracer
+	track string
 }
 
 // NewMetrics returns a metric collector labelled with the device name.
@@ -105,6 +111,36 @@ func (m *Metrics) Observe(r *trace.IORequest) {
 		m.TotalWrites++
 		m.windowWrite++
 	}
+	if m.hist != nil {
+		m.hist.Observe(latUS)
+	}
+	if m.tr != nil {
+		m.tr.Complete(m.track, r.Op.String(), "io", r.Issue, r.Complete,
+			telemetry.U("req", r.ID), telemetry.I("vmdk", int64(r.VMDK)),
+			telemetry.I("size", r.Size), telemetry.S("class", r.Class.String()))
+	}
+}
+
+// RegisterTelemetry exposes the collector under prefix (e.g.
+// "node0.nvdimm."): lifetime read/write/byte counts, mean and max latency,
+// accumulated bus contention, and a latency histogram. All gauges are
+// read-callbacks over counters the collector already maintains, so the hot
+// path pays nothing until a sample is taken.
+func (m *Metrics) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.Gauge(prefix+"reads", func() float64 { return float64(m.TotalReads) })
+	reg.Gauge(prefix+"writes", func() float64 { return float64(m.TotalWrites) })
+	reg.Gauge(prefix+"bytes", func() float64 { return float64(m.TotalBytes) })
+	reg.Gauge(prefix+"lat_mean_us", func() float64 { return m.Lifetime.Mean() })
+	reg.Gauge(prefix+"lat_max_us", func() float64 { return m.Lifetime.Max() })
+	reg.Gauge(prefix+"contention_us", func() float64 { return m.LifetimeContentionUS })
+	m.hist = reg.Histogram(prefix+"lat_hist", 0, 5000, 50)
+}
+
+// SetTracer enables per-request completion spans on the given track. A
+// nil tracer disables them.
+func (m *Metrics) SetTracer(tr *telemetry.Tracer, track string) {
+	m.tr = tr
+	m.track = track
 }
 
 // AddContention attributes extra bus-contention microseconds to the window.

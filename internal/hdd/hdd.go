@@ -8,6 +8,7 @@ package hdd
 import (
 	"repro/internal/device"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -75,6 +76,15 @@ func (h *HDD) Seeks() uint64 { return h.seeks }
 
 // SequentialHits returns how many requests streamed without seeking.
 func (h *HDD) SequentialHits() uint64 { return h.seqHits }
+
+// RegisterTelemetry exposes the HDD under prefix (e.g. "node0.hdd."):
+// device metrics plus mechanical-behaviour counters.
+func (h *HDD) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	h.Metrics().RegisterTelemetry(reg, prefix)
+	reg.Gauge(prefix+"seeks", func() float64 { return float64(h.seeks) })
+	reg.Gauge(prefix+"seq_hits", func() float64 { return float64(h.seqHits) })
+	reg.Gauge(prefix+"outstanding", func() float64 { return float64(h.outstanding) })
+}
 
 // serviceTime computes the mechanical time for one request and advances
 // head state.

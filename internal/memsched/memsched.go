@@ -14,6 +14,7 @@ package memsched
 import (
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -114,6 +115,9 @@ type Scheduler struct {
 	st      Stats
 	waitPer stats.Summary
 	waitMig stats.Summary
+
+	tr    *telemetry.Tracer
+	track string
 }
 
 // New creates a scheduler dispatching at most slots concurrent operations.
@@ -287,6 +291,10 @@ func (s *Scheduler) finish(e *entry) {
 	} else {
 		s.st.CompletedPersistent++
 	}
+	if s.tr != nil {
+		s.tr.Complete(s.track, e.class.String(), "sched", e.enqueued, s.eng.Now(),
+			telemetry.I("lpn", e.lpn))
+	}
 	s.retireEpochMember(e)
 	s.compact()
 	if e.done != nil {
@@ -338,4 +346,26 @@ func (s *Scheduler) Stats() Stats {
 	st.PersistentWaitUS = s.waitPer.Mean()
 	st.MigratedWaitUS = s.waitMig.Mean()
 	return st
+}
+
+// SetTracer enables per-operation queue+service spans on track (nil
+// disables).
+func (s *Scheduler) SetTracer(tr *telemetry.Tracer, track string) {
+	s.tr = tr
+	s.track = track
+}
+
+// RegisterTelemetry exposes transaction-queue activity under prefix:
+// queue depth, in-flight operations, completion/discard counters, barrier
+// bookkeeping, and mean queueing delay per class.
+func (s *Scheduler) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.Gauge(prefix+"queue_len", func() float64 { return float64(s.QueueLen()) })
+	reg.Gauge(prefix+"inflight", func() float64 { return float64(s.used) })
+	reg.Gauge(prefix+"completed_persistent", func() float64 { return float64(s.st.CompletedPersistent) })
+	reg.Gauge(prefix+"completed_migrated", func() float64 { return float64(s.st.CompletedMigrated) })
+	reg.Gauge(prefix+"discarded_migrated", func() float64 { return float64(s.st.DiscardedMigrated) })
+	reg.Gauge(prefix+"npb_insertions", func() float64 { return float64(s.st.NPBInsertions) })
+	reg.Gauge(prefix+"barriers", func() float64 { return float64(s.st.Barriers) })
+	reg.Gauge(prefix+"wait_persistent_us", func() float64 { return s.waitPer.Mean() })
+	reg.Gauge(prefix+"wait_migrated_us", func() float64 { return s.waitMig.Mean() })
 }

@@ -67,17 +67,20 @@ func (d Decision) String() string {
 	return fmt.Sprintf("[%v] %s%s%s %s", d.At, d.Kind, id, loc, d.Detail)
 }
 
-// DecisionLog is a bounded ring of manager decisions. The zero value is
-// disabled; enable with SetCapacity.
+// DecisionLog is a bounded ring of manager decisions: production-length
+// runs keep at most Cap entries in memory, overwriting the oldest and
+// counting what was dropped. The zero value is disabled; enable with
+// SetCapacity (Manager does this from Config.DecisionLogCap).
 type DecisionLog struct {
 	entries []Decision
 	next    int
 	full    bool
 	enabled bool
+	dropped uint64
 }
 
 // SetCapacity enables the log with space for n entries (older entries are
-// overwritten). n <= 0 disables it.
+// overwritten). n <= 0 disables it. The drop counter resets.
 func (l *DecisionLog) SetCapacity(n int) {
 	if n <= 0 {
 		*l = DecisionLog{}
@@ -87,15 +90,34 @@ func (l *DecisionLog) SetCapacity(n int) {
 	l.next = 0
 	l.full = false
 	l.enabled = true
+	l.dropped = 0
 }
 
 // Enabled reports whether entries are being recorded.
 func (l *DecisionLog) Enabled() bool { return l.enabled }
 
+// Cap returns the ring capacity (0 when disabled).
+func (l *DecisionLog) Cap() int { return len(l.entries) }
+
+// Len returns the number of retained entries.
+func (l *DecisionLog) Len() int {
+	if l.full {
+		return len(l.entries)
+	}
+	return l.next
+}
+
+// Dropped returns how many entries have been overwritten since the last
+// SetCapacity — the signal that the cap is too small for the run length.
+func (l *DecisionLog) Dropped() uint64 { return l.dropped }
+
 // add appends one entry (no-op when disabled).
 func (l *DecisionLog) add(d Decision) {
 	if !l.enabled {
 		return
+	}
+	if l.full {
+		l.dropped++
 	}
 	l.entries[l.next] = d
 	l.next++
@@ -129,6 +151,6 @@ func (l *DecisionLog) String() string {
 	return b.String()
 }
 
-// Log returns the manager's decision log (disabled unless the caller
-// enables it with SetCapacity).
+// Log returns the manager's decision log, sized by Config.DecisionLogCap
+// at construction (callers may re-size with SetCapacity).
 func (m *Manager) Log() *DecisionLog { return &m.log }

@@ -113,3 +113,59 @@ func TestManagerLogsPlacement(t *testing.T) {
 		t.Fatalf("log = %v", entries)
 	}
 }
+
+func TestDecisionLogDropCounting(t *testing.T) {
+	var l DecisionLog
+	l.SetCapacity(3)
+	for i := 0; i < 3; i++ {
+		l.add(Decision{VMDK: i})
+	}
+	if l.Len() != 3 || l.Cap() != 3 || l.Dropped() != 0 {
+		t.Fatalf("len=%d cap=%d dropped=%d, want 3/3/0", l.Len(), l.Cap(), l.Dropped())
+	}
+	for i := 3; i < 8; i++ {
+		l.add(Decision{VMDK: i})
+	}
+	if l.Len() != 3 {
+		t.Errorf("len = %d, want 3 (ring stays full)", l.Len())
+	}
+	if l.Dropped() != 5 {
+		t.Errorf("dropped = %d, want 5", l.Dropped())
+	}
+	// Re-sizing resets the drop counter.
+	l.SetCapacity(2)
+	if l.Dropped() != 0 || l.Len() != 0 {
+		t.Errorf("after SetCapacity: dropped=%d len=%d, want 0/0", l.Dropped(), l.Len())
+	}
+}
+
+func TestDecisionLogLenBeforeFull(t *testing.T) {
+	var l DecisionLog
+	l.SetCapacity(5)
+	l.add(Decision{})
+	l.add(Decision{})
+	if l.Len() != 2 {
+		t.Fatalf("len = %d, want 2", l.Len())
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", l.Dropped())
+	}
+}
+
+func TestManagerEnablesLogFromConfig(t *testing.T) {
+	if DefaultConfig().DecisionLogCap != 1024 {
+		t.Fatalf("DefaultConfig().DecisionLogCap = %d, want 1024", DefaultConfig().DecisionLogCap)
+	}
+	n := newNode(t)
+	mgr := NewManager(n.eng, DefaultConfig(), BASIL(), n.dss)
+	if !mgr.Log().Enabled() || mgr.Log().Cap() != 1024 {
+		t.Fatalf("log enabled=%v cap=%d, want true/1024", mgr.Log().Enabled(), mgr.Log().Cap())
+	}
+
+	cfg := DefaultConfig()
+	cfg.DecisionLogCap = 0
+	mgr2 := NewManager(n.eng, cfg, BASIL(), n.dss)
+	if mgr2.Log().Enabled() {
+		t.Fatal("DecisionLogCap=0 should leave the log disabled")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -42,6 +43,11 @@ type Config struct {
 	// while persistent shifts — sustained load or bus contention —
 	// still move the estimate within a few windows. Default 0.5.
 	SmoothingAlpha float64
+	// DecisionLogCap bounds the decision audit ring (entries); older
+	// entries are overwritten and counted as dropped. <= 0 disables
+	// recording. Default 1024 — enough to audit recent behaviour without
+	// unbounded growth on production-length runs.
+	DecisionLogCap int
 }
 
 // DefaultConfig returns the evaluation defaults.
@@ -57,6 +63,7 @@ func DefaultConfig() Config {
 		MinResidenceWindows:     4,
 		DebounceWindows:         1,
 		SmoothingAlpha:          0.5,
+		DecisionLogCap:          1024,
 	}
 }
 
@@ -91,6 +98,8 @@ type Manager struct {
 	running      bool
 	network      Network
 	log          DecisionLog
+	tr           *telemetry.Tracer
+	track        string
 
 	// OnEpoch, when set, observes each epoch's per-store performance
 	// vector (experiment instrumentation).
@@ -134,7 +143,7 @@ func NewManager(eng *sim.Engine, cfg Config, scheme Scheme, stores []*Datastore)
 	if cfg.SmoothingAlpha <= 0 || cfg.SmoothingAlpha > 1 {
 		cfg.SmoothingAlpha = 0.5
 	}
-	return &Manager{
+	m := &Manager{
 		eng:      eng,
 		cfg:      cfg,
 		scheme:   scheme,
@@ -143,6 +152,52 @@ func NewManager(eng *sim.Engine, cfg Config, scheme Scheme, stores []*Datastore)
 		history:  make(map[int][]string),
 		smoothed: make(map[*Datastore]float64),
 	}
+	if cfg.DecisionLogCap > 0 {
+		m.log.SetCapacity(cfg.DecisionLogCap)
+	}
+	return m
+}
+
+// SetTracer bridges the decision log into trace events: every logged
+// decision becomes an instant event on track, and completed migrations
+// become spans on track+".mig". A nil tracer disables the bridge.
+func (m *Manager) SetTracer(tr *telemetry.Tracer, track string) {
+	m.tr = tr
+	m.track = track
+}
+
+// logDecision records d in the ring and mirrors it to the tracer.
+func (m *Manager) logDecision(d Decision) {
+	m.log.add(d)
+	if m.tr != nil {
+		args := []telemetry.Arg{telemetry.S("detail", d.Detail)}
+		if d.VMDK >= 0 {
+			args = append(args, telemetry.I("vmdk", int64(d.VMDK)))
+		}
+		if d.Src != "" {
+			args = append(args, telemetry.S("src", d.Src))
+		}
+		if d.Dst != "" {
+			args = append(args, telemetry.S("dst", d.Dst))
+		}
+		m.tr.Instant(m.track, d.Kind.String(), "mgmt", d.At, args...)
+	}
+}
+
+// RegisterTelemetry exposes management activity as gauges under prefix
+// (e.g. "mgmt."): epoch and migration counters, migration byte totals,
+// in-flight migrations, and the decision log's length and drop count.
+func (m *Manager) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.Gauge(prefix+"epochs", func() float64 { return float64(m.stats.Epochs) })
+	reg.Gauge(prefix+"migrations.started", func() float64 { return float64(m.stats.MigrationsStarted) })
+	reg.Gauge(prefix+"migrations.completed", func() float64 { return float64(m.stats.MigrationsCompleted) })
+	reg.Gauge(prefix+"migrations.skipped", func() float64 { return float64(m.stats.MigrationsSkipped) })
+	reg.Gauge(prefix+"migrations.active", func() float64 { return float64(len(m.active)) })
+	reg.Gauge(prefix+"migrations.pingpongs", func() float64 { return float64(m.stats.PingPongs) })
+	reg.Gauge(prefix+"bytes_copied", func() float64 { return float64(m.stats.BytesCopied) })
+	reg.Gauge(prefix+"bytes_mirrored", func() float64 { return float64(m.stats.BytesMirrored) })
+	reg.Gauge(prefix+"decision_log.len", func() float64 { return float64(m.log.Len()) })
+	reg.Gauge(prefix+"decision_log.dropped", func() float64 { return float64(m.log.Dropped()) })
 }
 
 // SetModel installs the trained performance model for a device kind
@@ -374,7 +429,7 @@ func (m *Manager) detectAndMigrate(perfs []StorePerf) {
 		cost, benefit := m.costBenefit(cand, maxP, minP, cand.Size)
 		if benefit <= cost {
 			m.stats.MigrationsSkipped++
-			m.log.add(Decision{At: m.eng.Now(), Kind: DecisionSkip, VMDK: cand.ID,
+			m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionSkip, VMDK: cand.ID,
 				Src: src.Dev.Name(), Dst: dst.Dev.Name(),
 				Detail: fmt.Sprintf("cost %.0fus > benefit %.0fus", cost, benefit)})
 			return
@@ -384,7 +439,7 @@ func (m *Manager) detectAndMigrate(perfs []StorePerf) {
 		m.stats.MigrationsStarted++
 		cand.lastMoveEpoch = m.stats.Epochs
 		m.recordMove(cand, src, dst)
-		m.log.add(Decision{At: m.eng.Now(), Kind: DecisionMigrate, VMDK: cand.ID,
+		m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionMigrate, VMDK: cand.ID,
 			Src: src.Dev.Name(), Dst: dst.Dev.Name(),
 			Detail: fmt.Sprintf("norm %.1f vs %.1f (tau %.2f)", maxP.Norm, minP.Norm, m.cfg.Tau)})
 	}
@@ -482,9 +537,15 @@ func (m *Manager) migrationDone(mig *Migration) {
 	// count); only the mirrored complement is known at completion.
 	m.stats.BytesMirrored += mig.mirroredBytes()
 	m.stats.MigrationTime += mig.finishedAt - mig.startedAt
-	m.log.add(Decision{At: m.eng.Now(), Kind: DecisionComplete, VMDK: mig.v.ID,
+	m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionComplete, VMDK: mig.v.ID,
 		Src: mig.src.Dev.Name(), Dst: mig.dst.Dev.Name(),
 		Detail: fmt.Sprintf("copied %dMB in %v", mig.copiedBytes>>20, mig.finishedAt-mig.startedAt)})
+	if m.tr != nil {
+		m.tr.Complete(m.track+".mig", fmt.Sprintf("vmdk%d", mig.v.ID), "migration",
+			mig.startedAt, mig.finishedAt,
+			telemetry.S("src", mig.src.Dev.Name()), telemetry.S("dst", mig.dst.Dev.Name()),
+			telemetry.I("copied_bytes", mig.copiedBytes))
+	}
 }
 
 // PlaceVMDK implements the §5.1.1 initial placement (Eq. 4): choose the
@@ -568,7 +629,7 @@ func (m *Manager) PlaceVMDK(size int64, est trace.WC) (*VMDK, error) {
 	m.nextVMDKID++
 	v, err := cands[best].ds.CreateVMDK(m.nextVMDKID, size)
 	if err == nil {
-		m.log.add(Decision{At: m.eng.Now(), Kind: DecisionPlace, VMDK: v.ID,
+		m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionPlace, VMDK: v.ID,
 			Dst:    cands[best].ds.Dev.Name(),
 			Detail: fmt.Sprintf("avg system perf %.0fus (Eq. 4)", cands[best].avg)})
 	}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/ftl"
 	"repro/internal/memsched"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -173,6 +174,36 @@ func (n *NVDIMM) StalledWrites() uint64 { return n.stalledWrites }
 
 // Barrier forwards a persistence barrier to the scheduler (§5.3.1).
 func (n *NVDIMM) Barrier() { n.sched.Barrier() }
+
+// RegisterTelemetry exposes the whole NVDIMM stack under prefix (e.g.
+// "node0.nvdimm."): device metrics, buffer-cache counters, transaction-
+// queue activity, FTL/GC state, and the NVDIMM-specific path counters.
+func (n *NVDIMM) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	n.Metrics().RegisterTelemetry(reg, prefix)
+	n.cache.Stats().RegisterTelemetry(reg, prefix+"cache.")
+	n.sched.RegisterTelemetry(reg, prefix+"sched.")
+	reg.Gauge(prefix+"bypassed_reads", func() float64 { return float64(n.bypassedReads) })
+	reg.Gauge(prefix+"polluted_reads", func() float64 { return float64(n.pollutedReads) })
+	reg.Gauge(prefix+"stalled_writes", func() float64 { return float64(n.stalledWrites) })
+	reg.Gauge(prefix+"flushed_victims", func() float64 { return float64(n.flushedVictims) })
+	reg.Gauge(prefix+"pending_flush", func() float64 { return float64(n.pendingFlush) })
+	reg.Gauge(prefix+"outstanding", func() float64 { return float64(n.outstanding) })
+	reg.Gauge(prefix+"free_space_ratio", n.FreeSpaceRatio)
+	reg.Gauge(prefix+"ftl.gc_runs", func() float64 { return float64(n.ftl.Stats().GCRuns) })
+	reg.Gauge(prefix+"ftl.gc_writes", func() float64 { return float64(n.ftl.Stats().GCWrites) })
+	reg.Gauge(prefix+"ftl.erases", func() float64 { return float64(n.ftl.Stats().Erases) })
+	reg.Gauge(prefix+"ftl.free_blocks", func() float64 { return float64(n.ftl.FreeBlocks()) })
+	reg.Gauge(prefix+"ftl.write_amp", n.ftl.WriteAmplification)
+}
+
+// SetTracer enables request spans at the device boundary and operation
+// spans in the transaction queue, on tracks trackPrefix+"io" and
+// trackPrefix+"sched". The shared channel is traced separately via
+// bus.Channel.SetTracer (it carries DRAM traffic too).
+func (n *NVDIMM) SetTracer(tr *telemetry.Tracer, trackPrefix string) {
+	n.Metrics().SetTracer(tr, trackPrefix+"io")
+	n.sched.SetTracer(tr, trackPrefix+"sched")
+}
 
 // Prefill fills the FTL to the given ratio (free-space experiments).
 func (n *NVDIMM) Prefill(ratio float64) {

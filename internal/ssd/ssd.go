@@ -10,6 +10,7 @@ import (
 	"repro/internal/flash"
 	"repro/internal/ftl"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -105,6 +106,20 @@ func (s *SSD) FTL() *ftl.FTL { return s.ftl }
 
 // Outstanding returns in-flight request count.
 func (s *SSD) Outstanding() int { return s.outstanding }
+
+// RegisterTelemetry exposes the SSD under prefix (e.g. "node0.ssd."):
+// device metrics plus write-buffer backlog and FTL/GC state.
+func (s *SSD) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	s.Metrics().RegisterTelemetry(reg, prefix)
+	reg.Gauge(prefix+"pending_flush", func() float64 { return float64(s.pendingFlush) })
+	reg.Gauge(prefix+"outstanding", func() float64 { return float64(s.outstanding) })
+	reg.Gauge(prefix+"free_space_ratio", s.FreeSpaceRatio)
+	reg.Gauge(prefix+"ftl.gc_runs", func() float64 { return float64(s.ftl.Stats().GCRuns) })
+	reg.Gauge(prefix+"ftl.gc_writes", func() float64 { return float64(s.ftl.Stats().GCWrites) })
+	reg.Gauge(prefix+"ftl.erases", func() float64 { return float64(s.ftl.Stats().Erases) })
+	reg.Gauge(prefix+"ftl.free_blocks", func() float64 { return float64(s.ftl.FreeBlocks()) })
+	reg.Gauge(prefix+"ftl.write_amp", s.ftl.WriteAmplification)
+}
 
 // Prefill fills the FTL and management accounting to ratio.
 func (s *SSD) Prefill(ratio float64) {

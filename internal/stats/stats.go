@@ -40,13 +40,18 @@ func (s *Summary) Add(x float64) {
 	s.m2 += d * (x - s.mean)
 }
 
+// Empty-sample contract: every accessor on Summary, Sample, and Histogram
+// returns exactly 0 (never NaN, never garbage) when no observations have
+// been recorded. Telemetry snapshots of idle devices rely on this — a
+// gauge reading an empty collector must produce a plottable zero.
+
 // N returns the number of observations.
 func (s *Summary) N() uint64 { return s.n }
 
 // Mean returns the running mean (0 if empty).
 func (s *Summary) Mean() float64 { return s.mean }
 
-// Sum returns the running sum.
+// Sum returns the running sum (0 if empty).
 func (s *Summary) Sum() float64 { return s.sum }
 
 // Min returns the minimum observation (0 if empty).
@@ -107,11 +112,16 @@ func (s *Sample) Mean() float64 {
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) using linear
-// interpolation between closest ranks. Returns 0 if empty.
+// interpolation between closest ranks. An empty sample returns exactly 0
+// (the documented empty-sample contract, not NaN); p outside [0,100] or
+// NaN clamps to the nearest rank.
 func (s *Sample) Percentile(p float64) float64 {
 	n := len(s.xs)
 	if n == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		p = 0
 	}
 	if !s.sorted {
 		sort.Float64s(s.xs)
@@ -291,9 +301,16 @@ func (h *Histogram) BucketLow(i int) float64 { return h.lo + float64(i)*h.width 
 func (h *Histogram) Mean() float64 { return h.summary.Mean() }
 
 // Quantile approximates the q-th quantile (q in [0,1]) from bucket counts.
+// An empty histogram returns exactly 0; q outside [0,1] or NaN clamps.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.total == 0 {
 		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	target := uint64(q * float64(h.total))
 	var cum uint64

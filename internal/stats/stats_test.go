@@ -273,3 +273,74 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEmptySampleContract pins the documented empty-sample behaviour:
+// every accessor returns exactly 0, never NaN.
+func TestEmptySampleContract(t *testing.T) {
+	var sum Summary
+	for name, got := range map[string]float64{
+		"Mean": sum.Mean(), "Sum": sum.Sum(), "Min": sum.Min(),
+		"Max": sum.Max(), "Variance": sum.Variance(), "StdDev": sum.StdDev(),
+	} {
+		if got != 0 {
+			t.Errorf("empty Summary.%s = %v, want 0", name, got)
+		}
+	}
+
+	var s Sample
+	for name, got := range map[string]float64{
+		"Mean": s.Mean(), "Percentile(50)": s.Percentile(50),
+		"Percentile(NaN)": s.Percentile(math.NaN()), "Median": s.Median(),
+	} {
+		if got != 0 || math.IsNaN(got) {
+			t.Errorf("empty Sample.%s = %v, want 0", name, got)
+		}
+	}
+
+	h := NewHistogram(0, 100, 10)
+	for name, got := range map[string]float64{
+		"Mean": h.Mean(), "Quantile(0.5)": h.Quantile(0.5),
+		"Quantile(NaN)": h.Quantile(math.NaN()),
+	} {
+		if got != 0 || math.IsNaN(got) {
+			t.Errorf("empty Histogram.%s = %v, want 0", name, got)
+		}
+	}
+	if h.Total() != 0 {
+		t.Errorf("empty Histogram.Total = %d, want 0", h.Total())
+	}
+}
+
+// TestPercentileNaNClamp: a NaN percentile on a non-empty sample clamps to
+// the lowest rank instead of producing garbage.
+func TestPercentileNaNClamp(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	s.Add(1)
+	s.Add(9)
+	if got := s.Percentile(math.NaN()); got != 1 {
+		t.Errorf("Percentile(NaN) = %v, want 1 (lowest rank)", got)
+	}
+}
+
+// TestHistogramQuantileClamps: NaN and out-of-range q clamp into [0,1].
+func TestHistogramQuantileClamps(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for _, v := range []float64{5, 15, 25, 95} {
+		h.Add(v)
+	}
+	lo := h.Quantile(0)
+	if got := h.Quantile(math.NaN()); got != lo {
+		t.Errorf("Quantile(NaN) = %v, want %v", got, lo)
+	}
+	if got := h.Quantile(-3); got != lo {
+		t.Errorf("Quantile(-3) = %v, want %v", got, lo)
+	}
+	hi := h.Quantile(1)
+	if got := h.Quantile(7); got != hi {
+		t.Errorf("Quantile(7) = %v, want %v", got, hi)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Error("quantile bounds are NaN")
+	}
+}

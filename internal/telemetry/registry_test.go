@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestCounterIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x.hits")
+	a.Inc()
+	a.Add(2)
+	b := r.Counter("x.hits")
+	if a != b {
+		t.Fatal("re-registering a counter must return the same instance")
+	}
+	if b.Value() != 3 {
+		t.Fatalf("counter value = %d, want 3", b.Value())
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestHistogramIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("x.lat", 0, 100, 10)
+	a.Observe(5)
+	b := r.Histogram("x.lat", 0, 999, 3) // original bounds win
+	if a != b {
+		t.Fatal("re-registering a histogram must return the same instance")
+	}
+	if b.Count() != 1 {
+		t.Fatalf("count = %d, want 1", b.Count())
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"counter-then-gauge", func(r *Registry) {
+			r.Counter("n")
+			r.Gauge("n", func() float64 { return 0 })
+		}},
+		{"counter-then-histogram", func(r *Registry) {
+			r.Counter("n")
+			r.Histogram("n", 0, 1, 1)
+		}},
+		{"gauge-then-counter", func(r *Registry) {
+			r.Gauge("n", func() float64 { return 0 })
+			r.Counter("n")
+		}},
+		{"gauge-then-gauge", func(r *Registry) {
+			r.Gauge("n", func() float64 { return 0 })
+			r.Gauge("n", func() float64 { return 1 })
+		}},
+		{"histogram-then-counter", func(r *Registry) {
+			r.Histogram("n", 0, 1, 1)
+			r.Counter("n")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on name collision")
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestSnapshotSortedAndExpanded(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.count").Add(7)
+	r.Gauge("a.util", func() float64 { return 0.5 })
+	h := r.Histogram("m.lat", 0, 100, 10)
+	h.Observe(10)
+	h.Observe(20)
+
+	pts := r.Snapshot()
+	names := make([]string, len(pts))
+	for i, p := range pts {
+		names[i] = p.Name
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("snapshot not sorted: %v", names)
+	}
+	want := map[string]float64{
+		"a.util":        0.5,
+		"m.lat.count":   2,
+		"m.lat.mean_us": 15,
+		"z.count":       7,
+	}
+	got := make(map[string]float64, len(pts))
+	for _, p := range pts {
+		got[p.Name] = p.Value
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+	if _, ok := got["m.lat.p95_us"]; !ok {
+		t.Error("missing histogram p95 expansion")
+	}
+	if len(pts) != 5 {
+		t.Fatalf("snapshot has %d points, want 5", len(pts))
+	}
+}

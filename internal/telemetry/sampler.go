@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// Row is one sampled snapshot of a registry.
+type Row struct {
+	At     sim.Time
+	Points []Point
+}
+
+// Series accumulates sampler rows. Multiple samplers (e.g. one per
+// experiment system) may share a Series; rows append in completion order,
+// which is deterministic because experiments run sequentially.
+type Series struct {
+	rows []Row
+}
+
+// Append adds one row.
+func (s *Series) Append(r Row) { s.rows = append(s.rows, r) }
+
+// Rows returns the accumulated rows.
+func (s *Series) Rows() []Row { return s.rows }
+
+// Len returns the row count.
+func (s *Series) Len() int { return len(s.rows) }
+
+// WriteCSV renders the series with a time_ms column plus one column per
+// metric name (the sorted union across all rows). Cells for metrics absent
+// from a row are left empty, distinguishing "not registered yet" from 0.
+func (s *Series) WriteCSV(w io.Writer) error {
+	names := make(map[string]bool)
+	for _, r := range s.rows {
+		for _, p := range r.Points {
+			names[p.Name] = true
+		}
+	}
+	cols := make([]string, 0, len(names))
+	for n := range names {
+		cols = append(cols, n)
+	}
+	sort.Strings(cols)
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("time_ms"); err != nil {
+		return err
+	}
+	for _, c := range cols {
+		if _, err := bw.WriteString("," + c); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	for _, r := range s.rows {
+		vals := make(map[string]float64, len(r.Points))
+		for _, p := range r.Points {
+			vals[p.Name] = p.Value
+		}
+		ms := float64(r.At) / float64(sim.Millisecond)
+		if _, err := bw.WriteString(strconv.FormatFloat(ms, 'g', -1, 64)); err != nil {
+			return err
+		}
+		for _, c := range cols {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+			if v, ok := vals[c]; ok {
+				if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+					return err
+				}
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Sampler periodically snapshots a registry on the simulation clock. Ticks
+// align to exact multiples of the interval in simulated time (the first
+// tick is the next multiple after Start), so windows from different runs
+// with the same interval line up.
+type Sampler struct {
+	eng      *sim.Engine
+	reg      *Registry
+	interval sim.Time
+	out      *Series
+	running  bool
+}
+
+// NewSampler builds a sampler writing rows into out. It panics on a
+// non-positive interval.
+func NewSampler(eng *sim.Engine, reg *Registry, interval sim.Time, out *Series) *Sampler {
+	if interval <= 0 {
+		panic("telemetry: non-positive sampling interval")
+	}
+	if out == nil {
+		out = &Series{}
+	}
+	return &Sampler{eng: eng, reg: reg, interval: interval, out: out}
+}
+
+// Series returns the row sink.
+func (s *Sampler) Series() *Series { return s.out }
+
+// Start schedules the first tick at the next multiple of the interval.
+// Restarting a running sampler is a no-op.
+func (s *Sampler) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	next := (s.eng.Now()/s.interval + 1) * s.interval
+	s.eng.At(next, func() { s.tick(next) })
+}
+
+// Stop halts sampling after the current tick.
+func (s *Sampler) Stop() { s.running = false }
+
+// tick snapshots the registry and reschedules.
+func (s *Sampler) tick(at sim.Time) {
+	if !s.running {
+		return
+	}
+	s.out.Append(Row{At: at, Points: s.reg.Snapshot()})
+	next := at + s.interval
+	s.eng.At(next, func() { s.tick(next) })
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -43,6 +44,9 @@ type Runner struct {
 
 	// OnComplete, when set, observes every completed request.
 	OnComplete func(*trace.IORequest)
+
+	tr    *telemetry.Tracer
+	track string
 }
 
 // NewRunner builds a runner; it panics on an invalid profile.
@@ -96,6 +100,23 @@ func (r *Runner) MeanLatency() sim.Time {
 
 // InFlight returns current outstanding requests.
 func (r *Runner) InFlight() int { return r.inFlight }
+
+// SetTracer enables end-to-end request spans (issue → completion, through
+// whatever placement indirection the target applies) on track.
+func (r *Runner) SetTracer(tr *telemetry.Tracer, track string) {
+	r.tr = tr
+	r.track = track
+}
+
+// RegisterTelemetry exposes workload progress under prefix (e.g.
+// "wl.0.oltp."): issued/completed counts, in-flight depth, and mean
+// end-to-end latency.
+func (r *Runner) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.Gauge(prefix+"issued", func() float64 { return float64(r.issued) })
+	reg.Gauge(prefix+"completed", func() float64 { return float64(r.completed) })
+	reg.Gauge(prefix+"inflight", func() float64 { return float64(r.inFlight) })
+	reg.Gauge(prefix+"mean_lat_us", func() float64 { return r.MeanLatency().Micros() })
+}
 
 // nextRequest draws one request from the profile.
 func (r *Runner) nextRequest() *trace.IORequest {
@@ -170,6 +191,11 @@ func (r *Runner) issueOne() {
 		r.inFlight--
 		r.completed++
 		r.latency += done.Latency()
+		if r.tr != nil {
+			r.tr.Complete(r.track, done.Op.String(), "workload", done.Issue, done.Complete,
+				telemetry.U("req", done.ID), telemetry.I("vmdk", int64(done.VMDK)),
+				telemetry.I("size", done.Size))
+		}
 		if r.OnComplete != nil {
 			r.OnComplete(done)
 		}
