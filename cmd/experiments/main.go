@@ -5,7 +5,7 @@
 //
 //	experiments [-exp all|table1|table2|table3|table4|table5|fig4|fig5|
 //	             fig7|fig9|fig12|fig13|fig14|fig15|fig16|fig17|tau|
-//	             placement|dax|ablations]
+//	             placement|dax|faults|ablations]
 //	            [-scale quick|full] [-seed N]
 //	            [-trace-out FILE] [-metrics-out FILE] [-sample-ms N]
 //
@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1..table5, fig4..fig17, tau)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1..table5, fig4..fig17, tau, faults, ...)")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	seed := flag.Uint64("seed", 99, "model-training seed")
 	traceOut := flag.String("trace-out", "", "write spans from every built system (Chrome trace JSON; .jsonl = line-delimited)")
@@ -112,6 +112,7 @@ func main() {
 		{"tau", func() (fmt.Stringer, error) { r, err := experiments.TauSweep(scale, needModel()); return r, err }},
 		{"placement", func() (fmt.Stringer, error) { r, err := experiments.PlacementStudy(scale, needModel()); return r, err }},
 		{"dax", func() (fmt.Stringer, error) { return experiments.DAXStudy(scale), nil }},
+		{"faults", func() (fmt.Stringer, error) { r, err := experiments.FaultMatrix(scale); return r, err }},
 		{"ablations", func() (fmt.Stringer, error) {
 			ma, err := experiments.ModelAblation(scale, *seed)
 			if err != nil {

@@ -9,6 +9,7 @@
 //	       [-nodes N] [-duration MS] [-apps a,b,c] [-tau F] [-seed N]
 //	       [-bypass] [-sched baseline|p1|p2|both]
 //	       [-trace-out FILE] [-metrics-out FILE] [-sample-ms N] [-declog N]
+//	       [-fault-spec SPEC] [-max-events N]
 //
 // With -trace-out the run records per-request, bus, scheduler, and
 // migration spans and writes a Chrome trace_event file (load it in
@@ -16,6 +17,12 @@
 // writes line-delimited JSON instead. With -metrics-out the full metric
 // registry is sampled every -sample-ms of simulated time and written as
 // CSV.
+//
+// With -fault-spec the run arms deterministic fault injection (device
+// error rates, latency degradation, outages, link drops/stalls — see the
+// faultinject package for the grammar); the report then includes injector
+// totals and the manager's retry/abort/quarantine counters. -max-events
+// arms a watchdog that aborts runaway runs.
 package main
 
 import (
@@ -84,6 +91,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the sampled metric time series as CSV")
 	sampleMS := flag.Int("sample-ms", 25, "metric sampling interval in simulated milliseconds")
 	decLog := flag.Int("declog", 1024, "management decision-log capacity (0 = off)")
+	faultSpec := flag.String("fault-spec", "", `deterministic fault injection, e.g. "dev=node0-nvdimm:errate=0.2@40ms..240ms;link=0-1:drop=0.1"`)
+	maxEvents := flag.Uint64("max-events", 0, "abort the run after this many engine events (0 = unlimited)")
 	flag.Parse()
 
 	scheme, err := schemeByName(*schemeName)
@@ -128,6 +137,8 @@ func main() {
 		DAX:                 *dax,
 		WorkloadSkew:        *skew,
 		Telemetry:           tel,
+		FaultSpec:           *faultSpec,
+		MaxEvents:           *maxEvents,
 	}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
@@ -142,8 +153,13 @@ func main() {
 	}
 	dur := sim.Time(*durationMS) * sim.Millisecond
 	fmt.Printf("running %s for %v (nodes=%d mem=%q)...\n", scheme.Name, dur, *nodes, *mem)
-	sys.Run(dur)
+	if err := sys.Run(dur); err != nil {
+		log.Fatalf("run aborted: %v", err)
+	}
 	printReport(sys.Report())
+	if sys.Injector != nil {
+		fmt.Printf("fault injection:     %s\n", sys.Injector.Stats())
+	}
 	if *decLog > 0 {
 		l := sys.Manager.Log()
 		fmt.Printf("decision log:        %d/%d entries, %d dropped\n", l.Len(), l.Cap(), l.Dropped())
@@ -227,6 +243,13 @@ func printReport(rep core.Report) {
 		m.MigrationsStarted, m.MigrationsCompleted, m.MigrationsSkipped, m.PingPongs)
 	fmt.Printf("migration traffic:   %dMB copied, %dMB mirrored, %v total time\n",
 		m.BytesCopied>>20, m.BytesMirrored>>20, m.MigrationTime)
+	if m.CopyRetries > 0 || m.MigrationsAborted > 0 || m.Quarantines > 0 {
+		fmt.Printf("failure handling:    %d copy retries, %d aborts, %d quarantines, %d evacuations, %d readmissions\n",
+			m.CopyRetries, m.MigrationsAborted, m.Quarantines, m.Evacuations, m.Readmissions)
+	}
+	if rep.IOErrors > 0 {
+		fmt.Printf("I/O errors:          %d\n", rep.IOErrors)
+	}
 	if rep.NetworkBytes > 0 {
 		fmt.Printf("network traffic:     %dMB\n", rep.NetworkBytes>>20)
 	}

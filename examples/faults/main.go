@@ -1,0 +1,75 @@
+// Faults: deterministic fault injection driving failure-aware management.
+// A mid-run error burst degrades node0's NVDIMM; the manager detects the
+// error rate, quarantines the store, evacuates its VMDKs to healthy
+// devices, and — after the burst ends and probation passes — readmits it.
+// The whole arc is reproducible: rerunning with the same seed and spec
+// yields identical fault counts and identical decisions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mgmt"
+	"repro/internal/sim"
+)
+
+func run() (*core.System, error) {
+	cfg := mgmt.DefaultConfig()
+	cfg.Window = 10 * sim.Millisecond
+	cfg.MinWindowRequests = 2
+	cfg.QuarantineMinErrors = 3
+	cfg.ProbationWindows = 3
+	sys, err := core.NewSystem(core.Options{
+		Scheme: mgmt.LightSRM(),
+		Mgmt:   cfg,
+		Apps:   []string{"bayes", "sort", "pagerank", "wordcount"},
+		Seed:   7,
+		// 90% of node0-nvdimm requests fail and the survivors run 6x
+		// slower between 30ms and 130ms of simulated time; before and
+		// after, the device is healthy.
+		FaultSpec:        "dev=node0-nvdimm:errate=0.9@30ms..130ms,degrade=6@30ms..130ms",
+		FootprintDivisor: 512,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Run(400 * sim.Millisecond); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+func main() {
+	sys, err := run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("injector: %s\n", sys.Injector.Stats())
+	st := sys.Manager.Stats()
+	fmt.Printf("manager:  %d quarantines, %d evacuations, %d readmissions, %d copy retries, %d aborts\n\n",
+		st.Quarantines, st.Evacuations, st.Readmissions, st.CopyRetries, st.MigrationsAborted)
+
+	fmt.Println("failure-related decisions:")
+	for _, d := range sys.Manager.Log().Entries() {
+		switch d.Kind {
+		case mgmt.DecisionQuarantine, mgmt.DecisionEvacuate,
+			mgmt.DecisionReadmit, mgmt.DecisionAbort:
+			fmt.Printf("  %s\n", d)
+		}
+	}
+
+	// Determinism: the identical configuration reproduces the identical
+	// fault history, decision for decision.
+	again, err := run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sys.Injector.Stats().String() != again.Injector.Stats().String() ||
+		sys.Manager.Stats() != again.Manager.Stats() {
+		log.Fatal("same seed and spec diverged — determinism broken")
+	}
+	fmt.Println("\nrerun with same seed+spec: identical fault and decision counters")
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/bus"
+	"repro/internal/device"
 	"repro/internal/dram"
 	"repro/internal/hdd"
 	"repro/internal/mgmt"
@@ -32,6 +33,11 @@ type NodeConfig struct {
 	MemScale float64
 	// MemAggregation is the generator burst size (default 16).
 	MemAggregation int
+	// WrapDevice, when set, wraps each storage device before it is handed
+	// to its datastore — the fault-injection hook. The wrapper sits between
+	// the performance monitor and the real device, so injected failures are
+	// observed exactly like organic ones.
+	WrapDevice func(device.Device) device.Device
 }
 
 // Node is one assembled server.
@@ -102,13 +108,42 @@ func New() *Cluster {
 	}
 }
 
-// AddNode assembles and registers a node.
+// AddNode assembles and registers a node after validating the config: a
+// nil engine, duplicate name, or non-positive device capacity would
+// otherwise surface much later as a confusing panic or a datastore that
+// can never hold an extent.
 func (c *Cluster) AddNode(cfg NodeConfig, rng *sim.RNG) (*Node, error) {
-	if cfg.Channels <= 0 {
+	if c.Eng == nil {
+		return nil, fmt.Errorf("cluster: AddNode on a cluster without an engine (use cluster.New)")
+	}
+	if cfg.Channels < 0 {
+		return nil, fmt.Errorf("cluster: node %q: negative channel count %d", cfg.Name, cfg.Channels)
+	}
+	if cfg.Channels == 0 {
 		cfg.Channels = 4
 	}
 	if cfg.Name == "" {
 		cfg.Name = fmt.Sprintf("node%d", len(c.Nodes))
+	}
+	for _, ex := range c.Nodes {
+		if ex.Name == cfg.Name {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", cfg.Name)
+		}
+	}
+	if cfg.NVDIMM.Capacity <= 0 {
+		return nil, fmt.Errorf("cluster: node %q: non-positive NVDIMM capacity %d", cfg.Name, cfg.NVDIMM.Capacity)
+	}
+	if cfg.SSD.Capacity <= 0 {
+		return nil, fmt.Errorf("cluster: node %q: non-positive SSD capacity %d", cfg.Name, cfg.SSD.Capacity)
+	}
+	if cfg.HDD.Capacity <= 0 {
+		return nil, fmt.Errorf("cluster: node %q: non-positive HDD capacity %d", cfg.Name, cfg.HDD.Capacity)
+	}
+	if cfg.MemScale < 0 {
+		return nil, fmt.Errorf("cluster: node %q: negative MemScale %g", cfg.Name, cfg.MemScale)
+	}
+	if cfg.MemProfile != nil && rng == nil {
+		return nil, fmt.Errorf("cluster: node %q: memory co-runner requires an RNG", cfg.Name)
 	}
 	idx := len(c.Nodes)
 	n := &Node{Index: idx, Name: cfg.Name}
@@ -120,10 +155,14 @@ func (c *Cluster) AddNode(cfg NodeConfig, rng *sim.RNG) (*Node, error) {
 	n.NVDIMM = nvdimm.New(c.Eng, n.IC.Channel(0), cfg.NVDIMM)
 	n.SSD = ssd.New(c.Eng, cfg.SSD)
 	n.HDD = hdd.New(c.Eng, cfg.HDD)
+	wrap := cfg.WrapDevice
+	if wrap == nil {
+		wrap = func(d device.Device) device.Device { return d }
+	}
 	n.Stores = []*mgmt.Datastore{
-		mgmt.NewDatastore(n.NVDIMM, idx),
-		mgmt.NewDatastore(n.SSD, idx),
-		mgmt.NewDatastore(n.HDD, idx),
+		mgmt.NewDatastore(wrap(n.NVDIMM), idx),
+		mgmt.NewDatastore(wrap(n.SSD), idx),
+		mgmt.NewDatastore(wrap(n.HDD), idx),
 	}
 	if cfg.MemProfile != nil {
 		for ch := 0; ch < cfg.Channels; ch++ {
@@ -170,7 +209,10 @@ func (c *Cluster) AllStores() []*mgmt.Datastore {
 	return out
 }
 
-// link returns (creating if needed) the link between two nodes.
+// link returns (creating if needed) the link between two nodes. Link
+// parameters are validated at creation: a zero bandwidth would make
+// Transfer divide by zero and schedule a +Inf hold time, silently
+// corrupting the event clock, so misconfiguration fails loudly instead.
 func (c *Cluster) link(a, b int) *Link {
 	if a > b {
 		a, b = b, a
@@ -178,6 +220,12 @@ func (c *Cluster) link(a, b int) *Link {
 	key := [2]int{a, b}
 	l, ok := c.links[key]
 	if !ok {
+		if c.LinkBandwidth <= 0 {
+			panic(fmt.Sprintf("cluster: link %d-%d bandwidth must be positive, got %d", a, b, c.LinkBandwidth))
+		}
+		if c.LinkLatency < 0 {
+			panic(fmt.Sprintf("cluster: link %d-%d latency must be non-negative, got %v", a, b, c.LinkLatency))
+		}
 		l = &Link{eng: c.Eng, Bandwidth: c.LinkBandwidth, Latency: c.LinkLatency}
 		c.links[key] = l
 	}
@@ -185,13 +233,15 @@ func (c *Cluster) link(a, b int) *Link {
 }
 
 // Transfer implements mgmt.Network: cross-node migration data pays the
-// link's bandwidth and latency.
-func (c *Cluster) Transfer(srcNode, dstNode int, bytes int64, done func()) {
+// link's bandwidth and latency. The modeled Ethernet itself never fails —
+// link faults are layered on by faultinject.WrapNetwork — so done always
+// receives nil here.
+func (c *Cluster) Transfer(srcNode, dstNode int, bytes int64, done func(error)) {
 	if srcNode == dstNode {
-		done()
+		done(nil)
 		return
 	}
-	c.link(srcNode, dstNode).Transfer(bytes, done)
+	c.link(srcNode, dstNode).Transfer(bytes, func() { done(nil) })
 }
 
 // NetworkBytes returns total cross-node migration traffic.

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mgmt"
+	"repro/internal/sim"
+)
+
+// TestFaultSpecValidation: a spec naming a device or link the assembled
+// cluster does not have must fail system construction, not silently arm
+// nothing.
+func TestFaultSpecValidation(t *testing.T) {
+	t.Run("malformed spec", func(t *testing.T) {
+		opts := smallOpts(mgmt.BASIL())
+		opts.FaultSpec = "dev=node0-nvdimm:errate=2"
+		if _, err := NewSystem(opts); err == nil {
+			t.Fatal("out-of-range error rate accepted")
+		}
+	})
+	t.Run("unknown device", func(t *testing.T) {
+		opts := smallOpts(mgmt.BASIL())
+		opts.FaultSpec = "dev=node7-nvdimm:errate=0.5"
+		if _, err := NewSystem(opts); err == nil {
+			t.Fatal("spec targeting a nonexistent device accepted")
+		}
+	})
+	t.Run("link node out of range", func(t *testing.T) {
+		opts := smallOpts(mgmt.BASIL())
+		opts.Nodes = 2
+		opts.FaultSpec = "link=0-5:drop=0.5"
+		if _, err := NewSystem(opts); err == nil {
+			t.Fatal("spec targeting a nonexistent link accepted")
+		}
+	})
+}
+
+// TestFaultRunDeterminism: a fixed spec and seed must reproduce the exact
+// same fault, retry, and quarantine counters across runs — the acceptance
+// bar for debugging failure handling with the injector.
+func TestFaultRunDeterminism(t *testing.T) {
+	run := func() (string, mgmt.Stats, uint64) {
+		opts := smallOpts(mgmt.BASIL())
+		opts.FaultSpec = "dev=node0-nvdimm:errate=0.3@10ms..200ms,degrade=3@10ms..200ms"
+		s, err := NewSystem(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(300 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		return s.Injector.Stats().String(), s.Manager.Stats(), s.Report().IOErrors
+	}
+	stats1, mg1, errs1 := run()
+	stats2, mg2, errs2 := run()
+	if stats1 != stats2 {
+		t.Errorf("injector stats diverged:\n%s\nvs\n%s", stats1, stats2)
+	}
+	if mg1 != mg2 {
+		t.Errorf("manager stats diverged:\n%+v\nvs\n%+v", mg1, mg2)
+	}
+	if errs1 != errs2 {
+		t.Errorf("IOErrors diverged: %d vs %d", errs1, errs2)
+	}
+	if errs1 == 0 {
+		t.Error("30% error rate over 190ms injected nothing")
+	}
+}
+
+// TestDegradedNVDIMMLifecycle is the acceptance scenario: a window of
+// heavy NVDIMM errors must drive quarantine, then evacuation of its
+// VMDKs, and — once the device heals — probation and readmission, all
+// visible in the decision log in that order.
+func TestDegradedNVDIMMLifecycle(t *testing.T) {
+	opts := smallOpts(mgmt.LightSRM())
+	cfg := mgmt.DefaultConfig()
+	cfg.Window = 10 * sim.Millisecond
+	cfg.MinWindowRequests = 2
+	cfg.QuarantineMinErrors = 3
+	cfg.ProbationWindows = 3
+	opts.Mgmt = cfg
+	opts.FaultSpec = "dev=node0-nvdimm:errate=0.9@30ms..130ms,degrade=6@30ms..130ms"
+	s, err := NewSystem(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(400 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Manager.Stats()
+	if st.Quarantines == 0 || st.Evacuations == 0 || st.Readmissions == 0 {
+		t.Fatalf("lifecycle incomplete: quarantines=%d evacuations=%d readmissions=%d\n%s",
+			st.Quarantines, st.Evacuations, st.Readmissions, s.Manager.Log())
+	}
+	firstQuarantine, firstEvacuate, firstReadmit := -1, -1, -1
+	for i, d := range s.Manager.Log().Entries() {
+		switch d.Kind {
+		case mgmt.DecisionQuarantine:
+			if firstQuarantine < 0 && strings.Contains(d.Src, "nvdimm") {
+				firstQuarantine = i
+			}
+		case mgmt.DecisionEvacuate:
+			if firstEvacuate < 0 {
+				firstEvacuate = i
+			}
+		case mgmt.DecisionReadmit:
+			if firstReadmit < 0 {
+				firstReadmit = i
+			}
+		}
+	}
+	if firstQuarantine < 0 || firstEvacuate < 0 || firstReadmit < 0 {
+		t.Fatalf("decision log missing lifecycle entries (q=%d e=%d r=%d):\n%s",
+			firstQuarantine, firstEvacuate, firstReadmit, s.Manager.Log())
+	}
+	if !(firstQuarantine < firstEvacuate && firstEvacuate < firstReadmit) {
+		t.Fatalf("lifecycle out of order: quarantine@%d evacuate@%d readmit@%d",
+			firstQuarantine, firstEvacuate, firstReadmit)
+	}
+	// After readmission nothing is left quarantined.
+	for _, ds := range s.Manager.Stores() {
+		if ds.Quarantined() {
+			t.Errorf("%s still quarantined at end of run", ds.Dev.Name())
+		}
+	}
+}
+
+// TestMaxEventsWatchdog: an event budget far below what the run needs must
+// surface as an error from Run instead of a silent truncation.
+func TestMaxEventsWatchdog(t *testing.T) {
+	opts := smallOpts(mgmt.BASIL())
+	opts.MaxEvents = 500
+	s, err := NewSystem(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(300 * sim.Millisecond); err == nil {
+		t.Fatal("run exceeded its event budget without error")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/cluster"
 	"repro/internal/device"
+	"repro/internal/faultinject"
 	"repro/internal/hdd"
 	"repro/internal/memsched"
 	"repro/internal/mgmt"
@@ -74,6 +75,15 @@ type Options struct {
 	// Telemetry attaches observability sinks (nil = adopt the process
 	// default installed via SetDefaultTelemetry, or run uninstrumented).
 	Telemetry *Telemetry
+	// FaultSpec arms deterministic fault injection (see faultinject's
+	// grammar; "" = no faults). Injection draws from its own seed-derived
+	// RNG, so a run with an empty spec is byte-identical to one built
+	// without fault support at all.
+	FaultSpec string
+	// MaxEvents arms the engine watchdog for Run: the simulation errors
+	// out after processing this many events (0 = unbounded). A safety
+	// net against runaway event loops in scripted experiments.
+	MaxEvents uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -152,6 +162,9 @@ type System struct {
 	Model   *perfmodel.Model
 	Runners []*workload.Runner
 	VMDKs   []*mgmt.VMDK
+	// Injector is the armed fault injector (nil when Opts.FaultSpec is
+	// empty).
+	Injector *faultinject.Injector
 
 	rng       *sim.RNG
 	samples   []WindowSample
@@ -179,6 +192,17 @@ func NewSystem(opts Options) (*System, error) {
 	}
 
 	s.Cluster = cluster.New()
+
+	if opts.FaultSpec != "" {
+		spec, err := faultinject.ParseSpec(opts.FaultSpec)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if !spec.Empty() {
+			s.Injector = faultinject.New(s.Cluster.Eng, opts.Seed, spec)
+		}
+	}
+
 	for i := 0; i < opts.Nodes; i++ {
 		name := fmt.Sprintf("node%d", i)
 		nvCfg := ScaledNVDIMMConfig(name + "-nvdimm")
@@ -200,12 +224,26 @@ func NewSystem(opts Options) (*System, error) {
 			// while preserving channel occupancy.
 			MemAggregation: 64,
 		}
+		if s.Injector != nil {
+			ncfg.WrapDevice = s.Injector.WrapDevice
+		}
 		node, err := s.Cluster.AddNode(ncfg, s.rng.Split())
 		if err != nil {
 			return nil, err
 		}
 		if opts.NVDIMMPrefill > 0 {
 			node.NVDIMM.Prefill(opts.NVDIMMPrefill)
+		}
+	}
+	if s.Injector != nil {
+		// A clause naming a device or node that does not exist would arm
+		// nothing and silently "pass" the experiment — fail construction
+		// instead.
+		if unmatched := s.Injector.UnmatchedDevices(); len(unmatched) > 0 {
+			return nil, fmt.Errorf("core: fault spec targets unknown devices %v", unmatched)
+		}
+		if max := s.Injector.MaxLinkNode(); max >= opts.Nodes {
+			return nil, fmt.Errorf("core: fault spec targets link node %d but only %d nodes exist", max, opts.Nodes)
 		}
 	}
 
@@ -223,7 +261,11 @@ func NewSystem(opts Options) (*System, error) {
 	if s.Model != nil {
 		s.Manager.SetModel(device.KindNVDIMM, s.Model)
 	}
-	s.Manager.SetNetwork(s.Cluster)
+	var network mgmt.Network = s.Cluster
+	if s.Injector != nil {
+		network = s.Injector.WrapNetwork(s.Cluster)
+	}
+	s.Manager.SetNetwork(network)
 	s.Manager.OnEpoch = s.observeEpoch
 
 	// Place VMDKs: §6.2 "initially assign workloads to servers randomly,
@@ -333,14 +375,21 @@ func (s *System) Stop() {
 }
 
 // Run starts everything, runs d of simulated time, then stops and
-// drains.
-func (s *System) Run(d sim.Time) {
+// drains. With Opts.MaxEvents set, the engine watchdog bounds the run and
+// the budget error is returned.
+func (s *System) Run(d sim.Time) error {
+	if s.Opts.MaxEvents > 0 {
+		s.Cluster.Eng.SetBudget(s.Opts.MaxEvents, 0)
+	}
 	s.Start()
-	s.Cluster.Eng.RunFor(d)
+	if err := s.Cluster.Eng.RunFor(d); err != nil {
+		s.Stop()
+		return err
+	}
 	s.Stop()
 	// Bound the drain: long-tail events (e.g. paused lazy migrations)
 	// must not spin forever.
-	s.Cluster.Eng.RunFor(d / 4)
+	return s.Cluster.Eng.RunFor(d / 4)
 }
 
 // Report summarizes the run.
@@ -366,6 +415,9 @@ type Report struct {
 	CacheHitRatio float64
 	// NetworkBytes is cross-node migration traffic.
 	NetworkBytes int64
+	// IOErrors is the total failed completions across devices (0 in
+	// fault-free runs).
+	IOErrors uint64
 	// Elapsed is the simulated duration covered by the report.
 	Elapsed sim.Time
 }
@@ -393,6 +445,7 @@ func (s *System) Report() Report {
 			}
 			latSum += mean * float64(m.Lifetime.N())
 			reqSum += float64(m.Lifetime.N())
+			rep.IOErrors += m.TotalErrors
 		}
 		rep.NVDIMMContentionUS += n.NVDIMM.Metrics().LifetimeContentionUS
 	}

@@ -75,6 +75,9 @@ func (s *System) wireTelemetry(t *Telemetry) {
 			n.IC.RegisterTelemetry(reg, np+"bus.")
 		}
 		s.Manager.RegisterTelemetry(reg, pfx+"mgmt.")
+		if s.Injector != nil {
+			s.Injector.RegisterTelemetry(reg, pfx+"faults.")
+		}
 		for _, r := range s.Runners {
 			// The runner ID keeps names unique when an app repeats in Apps.
 			r.RegisterTelemetry(reg, fmt.Sprintf("%swl%d.%s.", pfx, r.ID(), r.Profile().Name))

@@ -76,13 +76,17 @@ type Metrics struct {
 	TotalReads  uint64
 	TotalWrites uint64
 	TotalBytes  int64
+	// TotalErrors counts requests that completed with a non-nil Err (fault
+	// injection or device-originated failures).
+	TotalErrors uint64
 	Lifetime    stats.Summary // latency in microseconds
 
 	// Current window.
-	Window      stats.Sample // latency in microseconds
-	windowReads uint64
-	windowWrite uint64
-	windowStart sim.Time
+	Window       stats.Sample // latency in microseconds
+	windowReads  uint64
+	windowWrite  uint64
+	windowErrors uint64
+	windowStart  sim.Time
 	// ContentionUS accumulates bus-contention delay attributed to this
 	// device's requests in the window (NVDIMM only), in microseconds.
 	ContentionUS float64
@@ -98,8 +102,21 @@ type Metrics struct {
 // NewMetrics returns a metric collector labelled with the device name.
 func NewMetrics(name string) *Metrics { return &Metrics{name: name} }
 
-// Observe records one completed request.
+// Observe records one completed request. Failed requests (r.Err != nil)
+// count as errors only: their latency describes time-to-failure, not
+// service, so it is excluded from the latency statistics the management
+// layer steers by.
 func (m *Metrics) Observe(r *trace.IORequest) {
+	if r.Err != nil {
+		m.TotalErrors++
+		m.windowErrors++
+		if m.tr != nil {
+			m.tr.Complete(m.track, r.Op.String()+"!err", "io", r.Issue, r.Complete,
+				telemetry.U("req", r.ID), telemetry.I("vmdk", int64(r.VMDK)),
+				telemetry.I("size", r.Size), telemetry.S("err", r.Err.Error()))
+		}
+		return
+	}
 	latUS := r.Latency().Micros()
 	m.Lifetime.Add(latUS)
 	m.Window.Add(latUS)
@@ -133,6 +150,7 @@ func (m *Metrics) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
 	reg.Gauge(prefix+"lat_mean_us", func() float64 { return m.Lifetime.Mean() })
 	reg.Gauge(prefix+"lat_max_us", func() float64 { return m.Lifetime.Max() })
 	reg.Gauge(prefix+"contention_us", func() float64 { return m.LifetimeContentionUS })
+	reg.Gauge(prefix+"errors", func() float64 { return float64(m.TotalErrors) })
 	m.hist = reg.Histogram(prefix+"lat_hist", 0, 5000, 50)
 }
 
@@ -155,10 +173,14 @@ func (m *Metrics) WindowMeanLatencyUS() float64 { return m.Window.Mean() }
 // WindowRequests returns the number of requests completed in the window.
 func (m *Metrics) WindowRequests() uint64 { return m.windowReads + m.windowWrite }
 
+// WindowErrors returns the number of failed completions in the window.
+func (m *Metrics) WindowErrors() uint64 { return m.windowErrors }
+
 // ResetWindow starts a new measurement window at time now.
 func (m *Metrics) ResetWindow(now sim.Time) {
 	m.Window.Reset()
 	m.windowReads, m.windowWrite = 0, 0
+	m.windowErrors = 0
 	m.ContentionUS = 0
 	m.windowStart = now
 }

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mgmt"
+	"repro/internal/sim"
+)
+
+// FaultMatrixResult compares end-to-end behaviour across fault scenarios:
+// a healthy baseline, a degraded NVDIMM (error burst + latency
+// multiplier), and a lossy inter-node link. It is the robustness
+// counterpart to the paper's performance tables: same workloads, same
+// manager, progressively hostile hardware.
+type FaultMatrixResult struct {
+	Rows []FaultMatrixRow
+}
+
+// FaultMatrixRow is one scenario of the fault matrix.
+type FaultMatrixRow struct {
+	Scenario      string
+	Spec          string
+	IOPS          float64 // total completed requests per simulated second
+	MeanLatencyUS float64
+	IOErrors      uint64 // failed completions seen by workloads/migrations
+	Injected      uint64 // faults fired by the injector (all kinds)
+	Retries       uint64 // migration chunk retries
+	Aborts        uint64 // migrations unwound
+	Quarantines   uint64
+	Evacuations   uint64
+	Readmissions  uint64
+}
+
+func (r *FaultMatrixResult) String() string {
+	t := &table{header: []string{"scenario", "iops", "lat_us", "io_errs",
+		"injected", "retries", "aborts", "quar", "evac", "readmit"}}
+	for _, row := range r.Rows {
+		t.add(row.Scenario,
+			fmt.Sprintf("%.0f", row.IOPS),
+			fmt.Sprintf("%.1f", row.MeanLatencyUS),
+			fmt.Sprint(row.IOErrors),
+			fmt.Sprint(row.Injected),
+			fmt.Sprint(row.Retries),
+			fmt.Sprint(row.Aborts),
+			fmt.Sprint(row.Quarantines),
+			fmt.Sprint(row.Evacuations),
+			fmt.Sprint(row.Readmissions))
+	}
+	return "Fault matrix (failure-aware management under injected faults)\n" + t.String()
+}
+
+// FaultMatrix runs the three-scenario robustness comparison. The degraded
+// window spans the middle of the run (10%..60% of RunTime) so the manager
+// observes healthy traffic, the failure burst, and the recovery.
+func FaultMatrix(scale Scale) (*FaultMatrixResult, error) {
+	winFrom := sim.Time(float64(scale.RunTime) * 0.10)
+	winTo := sim.Time(float64(scale.RunTime) * 0.60)
+	degradedSpec := fmt.Sprintf(
+		"dev=node0-nvdimm:errate=0.9@%dus..%dus,degrade=6@%dus..%dus",
+		winFrom/sim.Microsecond, winTo/sim.Microsecond,
+		winFrom/sim.Microsecond, winTo/sim.Microsecond)
+
+	scenarios := []struct {
+		name  string
+		nodes int
+		spec  string
+	}{
+		{"healthy", 1, ""},
+		{"degraded-nvdimm", 1, degradedSpec},
+		{"lossy-link", 2, "link=0-1:drop=0.25,stall=500us"},
+	}
+
+	res := &FaultMatrixResult{}
+	for _, sc := range scenarios {
+		cfg := mgmtCfg()
+		cfg.MinWindowRequests = 2
+		cfg.QuarantineMinErrors = 3
+		cfg.ProbationWindows = 3
+		sys, err := core.NewSystem(core.Options{
+			Nodes:            sc.nodes,
+			Scheme:           mgmt.LightSRM(),
+			Mgmt:             cfg,
+			Seed:             31,
+			FootprintDivisor: scale.FootprintDivisor,
+			FaultSpec:        sc.spec,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fault matrix %s: %w", sc.name, err)
+		}
+		if err := sys.Run(scale.RunTime); err != nil {
+			return nil, fmt.Errorf("fault matrix %s: %w", sc.name, err)
+		}
+		rep := sys.Report()
+		row := FaultMatrixRow{
+			Scenario:      sc.name,
+			Spec:          sc.spec,
+			MeanLatencyUS: rep.MeanLatencyUS,
+			IOErrors:      rep.IOErrors,
+			Retries:       rep.Migration.CopyRetries,
+			Aborts:        rep.Migration.MigrationsAborted,
+			Quarantines:   rep.Migration.Quarantines,
+			Evacuations:   rep.Migration.Evacuations,
+			Readmissions:  rep.Migration.Readmissions,
+		}
+		for _, iops := range rep.WorkloadIOPS {
+			row.IOPS += iops
+		}
+		if sys.Injector != nil {
+			injected, outages, degraded, dropped, stalled := sys.Injector.Stats().Totals()
+			row.Injected = injected + outages + degraded + dropped + stalled
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultMatrix: the degraded scenario must actually exercise the
+// failure-aware machinery (injected faults, quarantine) while the healthy
+// baseline stays fault-free, and the printed table must carry every
+// scenario.
+func TestFaultMatrix(t *testing.T) {
+	res, err := FaultMatrix(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	byName := make(map[string]FaultMatrixRow, len(res.Rows))
+	for _, r := range res.Rows {
+		byName[r.Scenario] = r
+	}
+
+	healthy := byName["healthy"]
+	if healthy.Injected != 0 || healthy.IOErrors != 0 || healthy.Quarantines != 0 {
+		t.Errorf("healthy scenario saw faults: %+v", healthy)
+	}
+	degraded := byName["degraded-nvdimm"]
+	if degraded.Injected == 0 || degraded.IOErrors == 0 {
+		t.Errorf("degraded scenario injected nothing: %+v", degraded)
+	}
+	if degraded.Quarantines == 0 {
+		t.Errorf("degraded NVDIMM never quarantined: %+v", degraded)
+	}
+	lossy := byName["lossy-link"]
+	if lossy.Injected == 0 {
+		t.Errorf("lossy link dropped/stalled nothing: %+v", lossy)
+	}
+
+	out := res.String()
+	for _, want := range []string{"healthy", "degraded-nvdimm", "lossy-link", "quar"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

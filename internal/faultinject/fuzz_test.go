@@ -1,0 +1,36 @@
+package faultinject
+
+import "testing"
+
+// FuzzParseSpec checks the parser never panics and that every accepted
+// spec survives a canonical round-trip: String() re-parses to the same
+// canonical form.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"dev=node0-nvdimm:errate=0.4@40ms..240ms,degrade=6@40ms..240ms",
+		"dev=a:outage@1ms..2ms",
+		"link=0-1:drop=0.25,stall=500us",
+		"dev=a:errate=1;dev=b:degrade=2;link=1-2:drop=0.1@1s..2s",
+		"dev=:errate",
+		"link=0-0:drop=2",
+		"dev=a:errate=0.5@5ms..1ms",
+		"@..;;:,=",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := ParseSpec(input)
+		if err != nil {
+			return
+		}
+		canon := spec.String()
+		re, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q does not re-parse: %v", canon, input, err)
+		}
+		if got := re.String(); got != canon {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", input, canon, got)
+		}
+	})
+}

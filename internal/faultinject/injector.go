@@ -1,0 +1,348 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Injection error values. They travel on trace.IORequest.Err and through
+// Network.Transfer callbacks; layers above match them only by non-nilness.
+var (
+	// ErrInjectedIO is a probabilistic per-request media error.
+	ErrInjectedIO = errors.New("faultinject: injected I/O error")
+	// ErrDeviceOffline fails every request during an outage episode.
+	ErrDeviceOffline = errors.New("faultinject: device offline")
+	// ErrLinkDropped fails a cross-node transfer on a lossy link.
+	ErrLinkDropped = errors.New("faultinject: link transfer dropped")
+)
+
+// FailLatency is how long a failing fast path takes to report: outage
+// rejections and link drops complete after this fixed delay (an error is
+// detected by a timeout/NAK, not instantaneously, but we keep it cheap and
+// deterministic).
+const FailLatency = 100 * sim.Microsecond
+
+// Network is the cross-node transfer surface the injector can wrap. It is
+// structurally identical to mgmt.Network, so *cluster.Cluster satisfies it
+// and the wrapped result satisfies mgmt.Network — no package cycle.
+type Network interface {
+	Transfer(srcNode, dstNode int, bytes int64, done func(error))
+}
+
+// DeviceStats counts injections against one device.
+type DeviceStats struct {
+	Name string
+	// InjectedErrors is the number of requests failed by errate.
+	InjectedErrors uint64
+	// OutageFailures is the number of requests rejected during outages.
+	OutageFailures uint64
+	// Degraded is the number of requests slowed by degrade.
+	Degraded uint64
+}
+
+// LinkStats counts injections against one link.
+type LinkStats struct {
+	A, B int
+	// Dropped is the number of transfers failed by drop.
+	Dropped uint64
+	// Stalled is the number of transfers delayed by stall.
+	Stalled uint64
+}
+
+// Stats is the aggregate injection census.
+type Stats struct {
+	Devices []DeviceStats
+	Links   []LinkStats
+}
+
+// Totals sums the per-target counters.
+func (s Stats) Totals() (injected, outages, degraded, dropped, stalled uint64) {
+	for _, d := range s.Devices {
+		injected += d.InjectedErrors
+		outages += d.OutageFailures
+		degraded += d.Degraded
+	}
+	for _, l := range s.Links {
+		dropped += l.Dropped
+		stalled += l.Stalled
+	}
+	return
+}
+
+// String renders the census.
+func (s Stats) String() string {
+	injected, outages, degraded, dropped, stalled := s.Totals()
+	return fmt.Sprintf("faults: %d injected errors, %d outage failures, %d degraded, %d dropped transfers, %d stalled transfers",
+		injected, outages, degraded, dropped, stalled)
+}
+
+// devFaults is the armed state for one device.
+type devFaults struct {
+	clause  DeviceClause
+	rng     *sim.RNG
+	matched bool
+	stats   DeviceStats
+}
+
+// linkFaults is the armed state for one link.
+type linkFaults struct {
+	clause LinkClause
+	rng    *sim.RNG
+	stats  LinkStats
+}
+
+// Injector arms a parsed Spec against a simulation. Its RNG is seeded from
+// the run seed but independent of every other stream in the system (it is
+// NOT split from a shared RNG — splitting consumes a draw from the parent
+// and would perturb fault-free runs). Each targeted device and link gets
+// its own sub-stream so adding a clause never re-times another clause's
+// draws.
+type Injector struct {
+	eng   *sim.Engine
+	spec  *Spec
+	devs  map[string]*devFaults
+	links map[[2]int]*linkFaults
+}
+
+// seedSalt decorrelates the injector stream from the run seed itself.
+const seedSalt = 0xFA171A7EC7ED5EED
+
+// New arms spec on the engine with a seed-derived independent RNG.
+func New(eng *sim.Engine, seed uint64, spec *Spec) *Injector {
+	in := &Injector{
+		eng:   eng,
+		spec:  spec,
+		devs:  make(map[string]*devFaults),
+		links: make(map[[2]int]*linkFaults),
+	}
+	root := sim.NewRNG(seed ^ seedSalt)
+	for _, c := range spec.Devices {
+		in.devs[c.Device] = &devFaults{clause: c, rng: root.Split(),
+			stats: DeviceStats{Name: c.Device}}
+	}
+	for _, c := range spec.Links {
+		in.links[[2]int{c.A, c.B}] = &linkFaults{clause: c, rng: root.Split(),
+			stats: LinkStats{A: c.A, B: c.B}}
+	}
+	return in
+}
+
+// Spec returns the armed spec.
+func (in *Injector) Spec() *Spec { return in.spec }
+
+// WrapDevice interposes the injector on a device named in the spec; devices
+// the spec does not target are returned unchanged (zero overhead).
+func (in *Injector) WrapDevice(d device.Device) device.Device {
+	f := in.devs[d.Name()]
+	if f == nil {
+		return d
+	}
+	f.matched = true
+	return &faultyDevice{Device: d, in: in, f: f}
+}
+
+// UnmatchedDevices returns spec device names WrapDevice never saw — a
+// misspelled target would otherwise silently arm nothing.
+func (in *Injector) UnmatchedDevices() []string {
+	var missing []string
+	for name, f := range in.devs {
+		if !f.matched {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// MaxLinkNode returns the largest node index named by a link clause (-1
+// when no link clauses exist), for validation against the cluster size.
+func (in *Injector) MaxLinkNode() int {
+	max := -1
+	for key := range in.links {
+		if key[1] > max {
+			max = key[1]
+		}
+	}
+	return max
+}
+
+// WrapNetwork interposes the injector on cross-node transfers; with no link
+// clauses the network is returned unchanged.
+func (in *Injector) WrapNetwork(n Network) Network {
+	if len(in.links) == 0 {
+		return n
+	}
+	return &faultyNetwork{inner: n, in: in}
+}
+
+// Stats snapshots the injection census in spec order.
+func (in *Injector) Stats() Stats {
+	var s Stats
+	for _, c := range in.spec.Devices {
+		s.Devices = append(s.Devices, in.devs[c.Device].stats)
+	}
+	for _, c := range in.spec.Links {
+		s.Links = append(s.Links, in.links[[2]int{c.A, c.B}].stats)
+	}
+	return s
+}
+
+// RegisterTelemetry exposes the injection counters under prefix (e.g.
+// "faults."): per-target and total gauges.
+func (in *Injector) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	for _, c := range in.spec.Devices {
+		f := in.devs[c.Device]
+		p := prefix + "dev." + c.Device + "."
+		reg.Gauge(p+"injected_errors", func() float64 { return float64(f.stats.InjectedErrors) })
+		reg.Gauge(p+"outage_failures", func() float64 { return float64(f.stats.OutageFailures) })
+		reg.Gauge(p+"degraded", func() float64 { return float64(f.stats.Degraded) })
+	}
+	for _, c := range in.spec.Links {
+		lf := in.links[[2]int{c.A, c.B}]
+		p := fmt.Sprintf("%slink.%d-%d.", prefix, c.A, c.B)
+		reg.Gauge(p+"dropped", func() float64 { return float64(lf.stats.Dropped) })
+		reg.Gauge(p+"stalled", func() float64 { return float64(lf.stats.Stalled) })
+	}
+	reg.Gauge(prefix+"total_injected", func() float64 {
+		injected, outages, _, _, _ := in.Stats().Totals()
+		return float64(injected + outages)
+	})
+}
+
+// faultyDevice wraps a device.Device, failing or slowing requests per the
+// armed clause. The embedded Device serves every method the injector does
+// not interpose.
+type faultyDevice struct {
+	device.Device
+	in *Injector
+	f  *devFaults
+}
+
+// Submit implements device.Device with fault interposition.
+func (fd *faultyDevice) Submit(r *trace.IORequest, done device.Completion) {
+	eng := fd.in.eng
+	now := eng.Now()
+	var degrade float64
+	for _, fault := range fd.f.clause.Faults {
+		if !fault.Win.Active(now) {
+			continue
+		}
+		switch fault.Kind {
+		case FaultOutage:
+			// The device is gone: fail fast without touching it, so an
+			// outage also starves the inner device of traffic.
+			fd.f.stats.OutageFailures++
+			r.Issue = now
+			eng.Schedule(FailLatency, func() {
+				r.Err = ErrDeviceOffline
+				r.Complete = eng.Now()
+				fd.Device.Metrics().Observe(r)
+				if done != nil {
+					done(r)
+				}
+			})
+			return
+		case FaultErrRate:
+			if r.Err == nil && fd.f.rng.Bool(fault.P) {
+				// Mark the request failed and still submit it: the device
+				// pays realistic service time before reporting the error.
+				fd.f.stats.InjectedErrors++
+				r.Err = ErrInjectedIO
+			}
+		case FaultDegrade:
+			degrade = fault.Factor
+		}
+	}
+	if degrade > 1 {
+		fd.f.stats.Degraded++
+		fd.Device.Submit(r, func(c *trace.IORequest) {
+			extra := sim.Time(float64(c.Complete-c.Issue) * (degrade - 1))
+			if extra <= 0 {
+				if done != nil {
+					done(c)
+				}
+				return
+			}
+			eng.Schedule(extra, func() {
+				c.Complete = eng.Now()
+				if done != nil {
+					done(c)
+				}
+			})
+		})
+		return
+	}
+	fd.Device.Submit(r, done)
+}
+
+// Barrier forwards persistence barriers to the inner device when it
+// supports them (the embedded-interface method set would otherwise hide
+// the concrete NVDIMM's Barrier from type assertions).
+func (fd *faultyDevice) Barrier() {
+	if b, ok := fd.Device.(interface{ Barrier() }); ok {
+		b.Barrier()
+	}
+}
+
+// Unwrap returns the inner device (instrumentation that needs the concrete
+// type reaches through the fault layer with this).
+func (fd *faultyDevice) Unwrap() device.Device { return fd.Device }
+
+// faultyNetwork wraps a Network with per-link drop/stall faults.
+type faultyNetwork struct {
+	inner Network
+	in    *Injector
+}
+
+// Transfer implements Network with fault interposition.
+func (fn *faultyNetwork) Transfer(srcNode, dstNode int, bytes int64, done func(error)) {
+	a, b := srcNode, dstNode
+	if a > b {
+		a, b = b, a
+	}
+	lf := fn.in.links[[2]int{a, b}]
+	if lf == nil {
+		fn.inner.Transfer(srcNode, dstNode, bytes, done)
+		return
+	}
+	eng := fn.in.eng
+	now := eng.Now()
+	var stall sim.Time
+	for _, fault := range lf.clause.Faults {
+		if !fault.Win.Active(now) {
+			continue
+		}
+		switch fault.Kind {
+		case FaultDrop:
+			if lf.rng.Bool(fault.P) {
+				lf.stats.Dropped++
+				eng.Schedule(FailLatency, func() {
+					if done != nil {
+						done(ErrLinkDropped)
+					}
+				})
+				return
+			}
+		case FaultStall:
+			stall = fault.Stall
+		}
+	}
+	if stall > 0 {
+		lf.stats.Stalled++
+		fn.inner.Transfer(srcNode, dstNode, bytes, func(err error) {
+			eng.Schedule(stall, func() {
+				if done != nil {
+					done(err)
+				}
+			})
+		})
+		return
+	}
+	fn.inner.Transfer(srcNode, dstNode, bytes, done)
+}

@@ -115,7 +115,10 @@ func (h *HDD) serviceTime(r *trace.IORequest) sim.Time {
 }
 
 // Submit implements device.Device. Requests serialize on the single
-// actuator in FIFO order.
+// actuator in FIFO order. A pre-marked failed request (fault injection)
+// still pays full mechanical service — the head moved regardless — and the
+// error rides out on the completion; Metrics.Observe keeps its
+// time-to-failure out of the latency statistics.
 func (h *HDD) Submit(r *trace.IORequest, done device.Completion) {
 	r.Issue = h.eng.Now()
 	h.outstanding++

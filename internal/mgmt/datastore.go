@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/perfmodel"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -21,6 +22,14 @@ type Datastore struct {
 	vmdks      map[int]*VMDK
 	nextOffset int64
 	allocated  int64
+
+	// Quarantine state (failure-aware management): a quarantined store is
+	// excluded from placement and migration-candidate selection, and its
+	// VMDKs are evacuated. cleanWindows counts consecutive error-free
+	// epochs toward probation release.
+	quarantined   bool
+	quarantinedAt sim.Time
+	cleanWindows  int
 }
 
 // NewDatastore wraps a device.
@@ -37,6 +46,13 @@ func NewDatastore(dev device.Device, node int) *Datastore {
 func (d *Datastore) Submit(r *trace.IORequest, done device.Completion) {
 	d.Mon.Submit(r, done)
 }
+
+// Quarantined reports whether the store is under failure quarantine.
+func (d *Datastore) Quarantined() bool { return d.quarantined }
+
+// QuarantinedAt returns when the current quarantine began (meaningless
+// when not quarantined).
+func (d *Datastore) QuarantinedAt() sim.Time { return d.quarantinedAt }
 
 // Free returns unallocated capacity in bytes.
 func (d *Datastore) Free() int64 { return d.Dev.Capacity() - d.allocated }

@@ -21,6 +21,18 @@ const (
 	DecisionComplete
 	// DecisionPlace records an initial placement (Eq. 4).
 	DecisionPlace
+	// DecisionAbort records a migration unwinding after exhausting its
+	// copy retry budget (and the unwind's completion).
+	DecisionAbort
+	// DecisionQuarantine records a datastore crossing the error-rate
+	// threshold and leaving the placement/candidate pool.
+	DecisionQuarantine
+	// DecisionEvacuate records an evacuation migration launched to move a
+	// VMDK off a quarantined store.
+	DecisionEvacuate
+	// DecisionReadmit records a quarantined store completing probation and
+	// rejoining the pool.
+	DecisionReadmit
 )
 
 // String names the kind.
@@ -36,6 +48,14 @@ func (k DecisionKind) String() string {
 		return "complete"
 	case DecisionPlace:
 		return "place"
+	case DecisionAbort:
+		return "abort"
+	case DecisionQuarantine:
+		return "quarantine"
+	case DecisionEvacuate:
+		return "evacuate"
+	case DecisionReadmit:
+		return "readmit"
 	default:
 		return fmt.Sprintf("decision(%d)", uint8(k))
 	}

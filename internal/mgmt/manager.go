@@ -48,6 +48,27 @@ type Config struct {
 	// recording. Default 1024 — enough to audit recent behaviour without
 	// unbounded growth on production-length runs.
 	DecisionLogCap int
+
+	// CopyRetryLimit is how many attempts each migration copy chunk gets
+	// before the whole migration aborts and unwinds. Default 4.
+	CopyRetryLimit int
+	// CopyRetryBackoff is the delay before a chunk's first retry, doubling
+	// each attempt (clamped at 64×). Default 500 µs.
+	CopyRetryBackoff sim.Time
+	// QuarantineErrorRate is the per-window failed-completion fraction at
+	// which a datastore is quarantined. Default 0.05.
+	QuarantineErrorRate float64
+	// QuarantineMinErrors is the minimum absolute failed completions in a
+	// window before the rate is trusted (one error in a nearly idle window
+	// is not a failing device). Default 4.
+	QuarantineMinErrors int
+	// ProbationWindows is how many consecutive error-free windows a
+	// quarantined store must serve before readmission. Default 8.
+	ProbationWindows int
+	// MaxConcurrentEvacuations bounds evacuation migrations launched per
+	// epoch off quarantined stores (in addition to, not gated by,
+	// MaxConcurrentMigrations). Default 2.
+	MaxConcurrentEvacuations int
 }
 
 // DefaultConfig returns the evaluation defaults.
@@ -64,6 +85,13 @@ func DefaultConfig() Config {
 		DebounceWindows:         1,
 		SmoothingAlpha:          0.5,
 		DecisionLogCap:          1024,
+
+		CopyRetryLimit:           4,
+		CopyRetryBackoff:         500 * sim.Microsecond,
+		QuarantineErrorRate:      0.05,
+		QuarantineMinErrors:      4,
+		ProbationWindows:         8,
+		MaxConcurrentEvacuations: 2,
 	}
 }
 
@@ -79,6 +107,13 @@ type Stats struct {
 	// PingPongs counts migrations that return a VMDK to a store it left
 	// earlier — the unnecessary-migration signature of Fig. 3.
 	PingPongs uint64
+
+	// Failure-aware management counters.
+	CopyRetries       uint64 // migration chunk attempts that failed and retried
+	MigrationsAborted uint64 // migrations that exhausted retries and unwound
+	Quarantines       uint64 // datastores entering quarantine
+	Readmissions      uint64 // datastores released after probation
+	Evacuations       uint64 // migrations launched to empty quarantined stores
 }
 
 // Manager runs the storage-management loop over a set of datastores.
@@ -143,6 +178,24 @@ func NewManager(eng *sim.Engine, cfg Config, scheme Scheme, stores []*Datastore)
 	if cfg.SmoothingAlpha <= 0 || cfg.SmoothingAlpha > 1 {
 		cfg.SmoothingAlpha = 0.5
 	}
+	if cfg.CopyRetryLimit <= 0 {
+		cfg.CopyRetryLimit = 4
+	}
+	if cfg.CopyRetryBackoff <= 0 {
+		cfg.CopyRetryBackoff = 500 * sim.Microsecond
+	}
+	if cfg.QuarantineErrorRate <= 0 {
+		cfg.QuarantineErrorRate = 0.05
+	}
+	if cfg.QuarantineMinErrors <= 0 {
+		cfg.QuarantineMinErrors = 4
+	}
+	if cfg.ProbationWindows <= 0 {
+		cfg.ProbationWindows = 8
+	}
+	if cfg.MaxConcurrentEvacuations <= 0 {
+		cfg.MaxConcurrentEvacuations = 2
+	}
 	m := &Manager{
 		eng:      eng,
 		cfg:      cfg,
@@ -198,6 +251,20 @@ func (m *Manager) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
 	reg.Gauge(prefix+"bytes_mirrored", func() float64 { return float64(m.stats.BytesMirrored) })
 	reg.Gauge(prefix+"decision_log.len", func() float64 { return float64(m.log.Len()) })
 	reg.Gauge(prefix+"decision_log.dropped", func() float64 { return float64(m.log.Dropped()) })
+	reg.Gauge(prefix+"migrations.aborted", func() float64 { return float64(m.stats.MigrationsAborted) })
+	reg.Gauge(prefix+"copy_retries", func() float64 { return float64(m.stats.CopyRetries) })
+	reg.Gauge(prefix+"quarantines", func() float64 { return float64(m.stats.Quarantines) })
+	reg.Gauge(prefix+"readmissions", func() float64 { return float64(m.stats.Readmissions) })
+	reg.Gauge(prefix+"evacuations", func() float64 { return float64(m.stats.Evacuations) })
+	reg.Gauge(prefix+"stores.quarantined", func() float64 {
+		n := 0
+		for _, ds := range m.stores {
+			if ds.quarantined {
+				n++
+			}
+		}
+		return float64(n)
+	})
 }
 
 // SetModel installs the trained performance model for a device kind
@@ -210,8 +277,9 @@ func (m *Manager) SetModel(kind device.Kind, p perfmodel.Predictor) {
 // cross-node transfers free (single-node setups).
 type Network interface {
 	// Transfer delivers bytes from srcNode to dstNode, invoking done when
-	// the data has arrived.
-	Transfer(srcNode, dstNode int, bytes int64, done func())
+	// the data has arrived (err nil) or the transfer failed (err non-nil,
+	// e.g. a fault-injected link drop).
+	Transfer(srcNode, dstNode int, bytes int64, done func(error))
 }
 
 // SetNetwork installs the cross-node transfer model.
@@ -343,12 +411,18 @@ func (m *Manager) epoch() {
 		m.OnEpoch(perfs)
 	}
 
+	// Failure scan: quarantine stores whose error rate crossed the
+	// threshold, evacuate their VMDKs, and release stores that served a
+	// full probation cleanly. Runs before balancing so a failing store is
+	// never chosen as a migration destination this epoch.
+	m.failureScan(perfs)
+
 	// Pump cost/benefit-gated migrations with fresh window data.
 	for _, mig := range m.active {
 		mig.reconsider(perfs)
 	}
 
-	if len(m.active) < m.cfg.MaxConcurrentMigrations {
+	if m.balancingMigrations() < m.cfg.MaxConcurrentMigrations {
 		m.detectAndMigrate(perfs)
 	}
 
@@ -356,6 +430,107 @@ func (m *Manager) epoch() {
 		ds.resetWindow()
 	}
 	m.eng.Schedule(m.cfg.Window, m.epoch)
+}
+
+// balancingMigrations counts active non-evacuation migrations (the
+// MaxConcurrentMigrations budget; evacuations have their own).
+func (m *Manager) balancingMigrations() int {
+	n := 0
+	for _, mig := range m.active {
+		if !mig.evac {
+			n++
+		}
+	}
+	return n
+}
+
+// failureScan implements graceful degradation: per-epoch error-rate
+// thresholding into quarantine, evacuation of quarantined stores, and
+// probation-based readmission.
+func (m *Manager) failureScan(perfs []StorePerf) {
+	for i := range perfs {
+		ds := perfs[i].Store
+		errs := ds.Mon.WindowErrors()
+		if !ds.quarantined {
+			total := errs + perfs[i].Requests
+			if errs >= m.cfg.QuarantineMinErrors && total > 0 &&
+				float64(errs)/float64(total) >= m.cfg.QuarantineErrorRate {
+				ds.quarantined = true
+				ds.quarantinedAt = m.eng.Now()
+				ds.cleanWindows = 0
+				m.stats.Quarantines++
+				m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionQuarantine,
+					VMDK: -1, Src: ds.Dev.Name(),
+					Detail: fmt.Sprintf("%d/%d window requests failed (threshold %.0f%%)",
+						errs, total, m.cfg.QuarantineErrorRate*100)})
+			}
+		} else {
+			if errs == 0 {
+				ds.cleanWindows++
+			} else {
+				ds.cleanWindows = 0
+			}
+			if ds.cleanWindows >= m.cfg.ProbationWindows {
+				ds.quarantined = false
+				m.stats.Readmissions++
+				m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionReadmit,
+					VMDK: -1, Src: ds.Dev.Name(),
+					Detail: fmt.Sprintf("probation served (%d clean windows)", m.cfg.ProbationWindows)})
+			}
+		}
+		if ds.quarantined {
+			m.evacuate(ds, perfs)
+		}
+	}
+}
+
+// evacuate launches migrations moving VMDKs off a quarantined store onto
+// the best healthy store with room, bypassing the τ/hysteresis/
+// cost-benefit gates — leaving a failing device is not an optimization
+// decision. Evacuations count against their own concurrency budget.
+func (m *Manager) evacuate(ds *Datastore, perfs []StorePerf) {
+	evacs := 0
+	for _, mig := range m.active {
+		if mig.evac {
+			evacs++
+		}
+	}
+	for _, v := range ds.VMDKs() {
+		if evacs >= m.cfg.MaxConcurrentEvacuations {
+			return
+		}
+		if v.Migrating() {
+			continue
+		}
+		var dst *Datastore
+		var dstPerf float64
+		for i := range perfs {
+			cand := perfs[i].Store
+			if cand == ds || cand.quarantined || cand.Free() < v.Size {
+				continue
+			}
+			if dst == nil || perfs[i].PerfUS < dstPerf {
+				dst = cand
+				dstPerf = perfs[i].PerfUS
+			}
+		}
+		if dst == nil {
+			return // nowhere healthy to go; retry next epoch
+		}
+		if err := m.startMigration(v, dst); err != nil {
+			continue
+		}
+		mig := m.active[len(m.active)-1]
+		mig.evac = true
+		evacs++
+		m.stats.Evacuations++
+		m.stats.MigrationsStarted++
+		v.lastMoveEpoch = m.stats.Epochs
+		m.recordMove(v, ds, dst)
+		m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionEvacuate, VMDK: v.ID,
+			Src: ds.Dev.Name(), Dst: dst.Dev.Name(),
+			Detail: fmt.Sprintf("evacuating quarantined store (dst %.0fus)", dstPerf)})
+	}
 }
 
 // idleEstimateUS is the decision latency assumed for a store with too
@@ -380,6 +555,11 @@ func (m *Manager) detectAndMigrate(perfs []StorePerf) {
 	var maxP, minP *StorePerf
 	for i := range perfs {
 		p := &perfs[i]
+		if p.Store.Quarantined() {
+			// Failure-quarantined stores are handled by evacuation; they
+			// are neither a load-balancing source nor a destination.
+			continue
+		}
 		if p.Store.NumVMDKs() > 0 && p.Requests >= m.cfg.MinWindowRequests {
 			if maxP == nil || p.Norm > maxP.Norm {
 				maxP = p
@@ -524,6 +704,26 @@ func (m *Manager) startMigration(v *VMDK, dst *Datastore) error {
 	return nil
 }
 
+// migrationAborted removes an unwound migration from the active set. The
+// abort itself (and its reason) was logged when the unwind began; this
+// logs the unwind's completion.
+func (m *Manager) migrationAborted(mig *Migration) {
+	for i, a := range m.active {
+		if a == mig {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionAbort, VMDK: mig.v.ID,
+		Src: mig.src.Dev.Name(), Dst: mig.dst.Dev.Name(),
+		Detail: fmt.Sprintf("unwind complete in %v; VMDK consistent on source", mig.finishedAt-mig.startedAt)})
+	if m.tr != nil {
+		m.tr.Complete(m.track+".mig", fmt.Sprintf("vmdk%d!abort", mig.v.ID), "migration",
+			mig.startedAt, mig.finishedAt,
+			telemetry.S("src", mig.src.Dev.Name()), telemetry.S("dst", mig.dst.Dev.Name()))
+	}
+}
+
 // migrationDone removes the finished migration and records stats.
 func (m *Manager) migrationDone(mig *Migration) {
 	for i, a := range m.active {
@@ -569,6 +769,9 @@ func (m *Manager) PlaceVMDK(size int64, est trace.WC) (*VMDK, error) {
 	}
 	var cands []cand
 	for i, ds := range m.stores {
+		if ds.Quarantined() {
+			continue // Eq. 4 never places onto a failing store
+		}
 		if ds.Free() < size {
 			continue
 		}

@@ -1,6 +1,8 @@
 package mgmt
 
 import (
+	"fmt"
+
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -8,6 +10,13 @@ import (
 // Migration is one in-flight VMDK move: a background copy engine that
 // walks the bitmap, skipping blocks already satisfied by write
 // mirroring, with optional per-epoch cost/benefit gating (§5.2).
+//
+// Every copy stage (source read, cross-node transfer, destination write)
+// can fail under fault injection. A failed chunk retries with exponential
+// backoff up to Config.CopyRetryLimit attempts; exhausting the budget
+// aborts the whole migration: mirroring is switched off, and the engine
+// walks the bitmap copying migrated blocks *back* to the source, leaving
+// the VMDK fully consistent at its original location.
 type Migration struct {
 	mgr *Manager
 	v   *VMDK
@@ -19,6 +28,12 @@ type Migration struct {
 	paused    bool // cost/benefit said "not now"
 	opPaused  bool // operator said "not now" (sticky until resumed)
 	completed bool
+	aborting  bool // unwinding back to the source
+	// evac marks a quarantine evacuation: cost/benefit gating is skipped
+	// (getting off a failing store is not optional).
+	evac bool
+
+	abortCursor int64 // next block index the copy-back scan considers
 
 	copiedBytes int64
 	startedAt   sim.Time
@@ -42,10 +57,18 @@ func (g *Migration) class() trace.Class {
 	return trace.ClassNormal
 }
 
+// Evacuation reports whether this migration is a quarantine evacuation.
+func (g *Migration) Evacuation() bool { return g.evac }
+
+// Aborting reports whether this migration is unwinding.
+func (g *Migration) Aborting() bool { return g.aborting }
+
 // reconsider re-evaluates the cost/benefit gate with fresh epoch data
 // (lazy migration only pauses the *copy*; mirroring continues always).
+// Evacuations and aborts are never gated: both are safety unwinds, not
+// optimizations.
 func (g *Migration) reconsider(perfs []StorePerf) {
-	if g.completed || !g.mgr.scheme.CostBenefit || !g.mgr.scheme.Mirroring {
+	if g.completed || g.aborting || g.evac || !g.mgr.scheme.CostBenefit || !g.mgr.scheme.Mirroring {
 		return
 	}
 	var srcP, dstP *StorePerf
@@ -77,12 +100,17 @@ func (g *Migration) pump() {
 	if g.completed {
 		return
 	}
+	if g.aborting {
+		g.pumpAbort()
+		return
+	}
 	for !g.paused && !g.opPaused && g.inflight < g.mgr.cfg.CopyDepth {
 		blocks := g.nextChunk()
 		if blocks == nil {
 			break
 		}
-		g.copyChunk(blocks)
+		g.inflight++
+		g.attemptChunk(blocks, 0)
 	}
 	g.maybeFinish()
 }
@@ -108,15 +136,61 @@ func (g *Migration) nextChunk() []int64 {
 	return blocks
 }
 
-// copyChunk reads the blocks from the source and writes them to the
-// destination, marking them migrated on completion. Blocks that a
-// mirrored write migrates while the copy is in flight are detected at
-// write time and not overwritten (the §5.3.1 same-location discard
-// handles the device-level race; here the block simply stays marked).
-func (g *Migration) copyChunk(blocks []int64) {
-	g.inflight++
+// backoff returns the retry delay before attempt n+1 (exponential from
+// Config.CopyRetryBackoff, clamped at 64× the base).
+func (g *Migration) backoff(attempt int) sim.Time {
+	d := g.mgr.cfg.CopyRetryBackoff
+	for i := 0; i < attempt && i < 6; i++ {
+		d *= 2
+	}
+	return d
+}
+
+// attemptChunk runs one forward-copy attempt: source read → cross-node
+// transfer → destination write, marking blocks migrated on success. Any
+// stage failure retries the chunk with backoff; exhausting the budget
+// aborts the migration. Blocks that a mirrored write migrates while the
+// copy is in flight are detected at write time and not overwritten (the
+// §5.3.1 same-location discard handles the device-level race; here the
+// block simply stays marked). The caller has already counted the chunk in
+// g.inflight.
+func (g *Migration) attemptChunk(blocks []int64, attempt int) {
+	// Mirroring may have satisfied blocks while we backed off; re-filter
+	// so retries shrink instead of re-copying mirrored data.
+	live := blocks[:0]
+	for _, b := range blocks {
+		if !g.v.blockMigrated(b) {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 || g.completed || g.aborting {
+		g.inflight--
+		g.pump()
+		return
+	}
+	blocks = live
 	first := blocks[0]
 	n := int64(len(blocks))
+	fail := func(stage string, err error) {
+		g.mgr.stats.CopyRetries++
+		if attempt+1 >= g.mgr.cfg.CopyRetryLimit {
+			g.inflight--
+			if g.aborting || g.completed {
+				g.pump()
+			} else {
+				g.abort(fmt.Sprintf("%s failed %d times: %v", stage, attempt+1, err))
+			}
+			return
+		}
+		g.mgr.eng.Schedule(g.backoff(attempt), func() {
+			if g.completed || g.aborting {
+				g.inflight--
+				g.pump()
+				return
+			}
+			g.attemptChunk(blocks, attempt+1)
+		})
+	}
 	read := &trace.IORequest{
 		Op:     trace.OpRead,
 		Offset: g.v.srcBase + first*BlockSize,
@@ -124,7 +198,11 @@ func (g *Migration) copyChunk(blocks []int64) {
 		Class:  g.class(),
 		VMDK:   g.v.ID,
 	}
-	g.src.Submit(read, func(*trace.IORequest) {
+	g.src.Submit(read, func(c *trace.IORequest) {
+		if c.Err != nil {
+			fail("source read", c.Err)
+			return
+		}
 		writeOut := func() {
 			write := &trace.IORequest{
 				Op:     trace.OpWrite,
@@ -133,7 +211,19 @@ func (g *Migration) copyChunk(blocks []int64) {
 				Class:  g.class(),
 				VMDK:   g.v.ID,
 			}
-			g.dst.Submit(write, func(*trace.IORequest) {
+			g.dst.Submit(write, func(c *trace.IORequest) {
+				if c.Err != nil {
+					fail("destination write", c.Err)
+					return
+				}
+				if g.aborting || g.completed {
+					// The unwind started while this chunk was in flight:
+					// leave its blocks unmarked so the source stays
+					// authoritative for them.
+					g.inflight--
+					g.pump()
+					return
+				}
 				for _, b := range blocks {
 					g.v.markMigrated(b)
 				}
@@ -144,17 +234,179 @@ func (g *Migration) copyChunk(blocks []int64) {
 			})
 		}
 		if g.src.Node != g.dst.Node && g.mgr.network != nil {
-			g.mgr.network.Transfer(g.src.Node, g.dst.Node, n*BlockSize, writeOut)
+			g.mgr.network.Transfer(g.src.Node, g.dst.Node, n*BlockSize, func(err error) {
+				if err != nil {
+					fail("network transfer", err)
+					return
+				}
+				writeOut()
+			})
 		} else {
 			writeOut()
 		}
 	})
 }
 
+// abort begins the clean unwind after the retry budget is exhausted:
+// mirroring stops, fresh writes land on the source, and migrated blocks
+// copy back from the destination. Forward chunks still in flight complete
+// harmlessly — their blocks stay bitmap-unmarked, so the source remains
+// authoritative for them.
+func (g *Migration) abort(reason string) {
+	if g.completed || g.aborting {
+		return
+	}
+	g.aborting = true
+	g.paused = false
+	g.mgr.stats.MigrationsAborted++
+	g.v.beginAbort()
+	g.abortCursor = 0
+	g.mgr.logDecision(Decision{At: g.mgr.eng.Now(), Kind: DecisionAbort, VMDK: g.v.ID,
+		Src: g.src.Dev.Name(), Dst: g.dst.Dev.Name(),
+		Detail: "unwinding: " + reason})
+	g.pumpAbort()
+}
+
+// pumpAbort keeps CopyDepth copy-back chunks in flight. The unwind ignores
+// operator pauses — a half-aborted VMDK must not linger on a possibly
+// failing destination.
+func (g *Migration) pumpAbort() {
+	if g.completed {
+		return
+	}
+	for g.inflight < g.mgr.cfg.CopyDepth {
+		blocks := g.nextAbortChunk()
+		if blocks == nil {
+			break
+		}
+		g.inflight++
+		g.attemptAbortChunk(blocks, 0)
+	}
+	g.maybeFinishAbort()
+}
+
+// nextAbortChunk collects the next contiguous run of *migrated* blocks —
+// the ones that must move back to the source.
+func (g *Migration) nextAbortChunk() []int64 {
+	maxBlocks := g.mgr.cfg.ChunkBytes / BlockSize
+	var blocks []int64
+	for g.abortCursor < g.v.Blocks() && int64(len(blocks)) < maxBlocks {
+		b := g.abortCursor
+		g.abortCursor++
+		if !g.v.blockMigrated(b) {
+			if len(blocks) > 0 {
+				break // keep chunks contiguous
+			}
+			continue
+		}
+		blocks = append(blocks, b)
+	}
+	if len(blocks) == 0 {
+		return nil
+	}
+	return blocks
+}
+
+// attemptAbortChunk copies migrated blocks back: destination read →
+// cross-node transfer → source write → clear bitmap bits. Copy-back
+// retries indefinitely with clamped backoff: the unwind must eventually
+// complete, and fault episodes are finite (the engine watchdog bounds a
+// run where they are not). The caller has already counted the chunk in
+// g.inflight.
+func (g *Migration) attemptAbortChunk(blocks []int64, attempt int) {
+	// Abort-time writes may have pulled blocks back to the source already.
+	live := blocks[:0]
+	for _, b := range blocks {
+		if g.v.blockMigrated(b) {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 || g.completed {
+		g.inflight--
+		g.pumpAbort()
+		return
+	}
+	blocks = live
+	first := blocks[0]
+	n := int64(len(blocks))
+	retry := func(stage string, err error) {
+		g.mgr.stats.CopyRetries++
+		g.mgr.eng.Schedule(g.backoff(attempt), func() {
+			g.attemptAbortChunk(blocks, attempt+1)
+		})
+	}
+	read := &trace.IORequest{
+		Op:     trace.OpRead,
+		Offset: g.v.dstBase + first*BlockSize,
+		Size:   n * BlockSize,
+		Class:  g.class(),
+		VMDK:   g.v.ID,
+	}
+	g.dst.Submit(read, func(c *trace.IORequest) {
+		if c.Err != nil {
+			retry("destination read", c.Err)
+			return
+		}
+		writeBack := func() {
+			write := &trace.IORequest{
+				Op:     trace.OpWrite,
+				Offset: g.v.srcBase + first*BlockSize,
+				Size:   n * BlockSize,
+				Class:  g.class(),
+				VMDK:   g.v.ID,
+			}
+			g.src.Submit(write, func(c *trace.IORequest) {
+				if c.Err != nil {
+					retry("source write", c.Err)
+					return
+				}
+				for _, b := range blocks {
+					g.v.markUnmigrated(b)
+				}
+				g.inflight--
+				g.pumpAbort()
+			})
+		}
+		if g.src.Node != g.dst.Node && g.mgr.network != nil {
+			g.mgr.network.Transfer(g.dst.Node, g.src.Node, n*BlockSize, func(err error) {
+				if err != nil {
+					retry("network transfer", err)
+					return
+				}
+				writeBack()
+			})
+		} else {
+			writeBack()
+		}
+	})
+}
+
+// maybeFinishAbort releases the destination once every block is back on
+// the source and no copy-back chunk is in flight.
+func (g *Migration) maybeFinishAbort() {
+	if g.completed || g.inflight > 0 {
+		return
+	}
+	if g.v.MigratedBlocks() > 0 {
+		if g.abortCursor >= g.v.Blocks() {
+			// In-flight forward chunks may have marked blocks behind the
+			// copy-back scan; rescan for them.
+			g.abortCursor = 0
+			g.pumpAbort()
+		}
+		return
+	}
+	g.completed = true
+	g.finishedAt = g.mgr.eng.Now()
+	g.v.finishAbort()
+	g.dst.releaseExtent(g.v.Size)
+	g.mgr.migrationAborted(g)
+}
+
 // maybeFinish commits the migration once every block lives at the
 // destination and no chunk is in flight.
 func (g *Migration) maybeFinish() {
-	if g.completed || g.inflight > 0 {
+	if g.completed || g.aborting || g.inflight > 0 {
 		return
 	}
 	if g.v.MigratedBlocks() < g.v.Blocks() {

@@ -34,6 +34,7 @@ type VMDK struct {
 	bitmap    []uint64
 	migrated  int64 // blocks currently at the destination
 	mirroring bool  // writes redirect to the destination (I/O mirroring)
+	aborting  bool  // migration is unwinding back to the source
 
 	// Window activity counters (candidate selection reads these).
 	windowRequests uint64
@@ -88,19 +89,30 @@ func (v *VMDK) finishMigration() {
 	v.bitmap = nil
 	v.migrated = 0
 	v.mirroring = false
+	v.aborting = false
 }
 
-// abortMigration drops destination state; blocks already copied are
-// simply re-read from the source afterwards (the mirror keeps the source
-// authoritative for non-migrated blocks only, so an abort requires
-// copying migrated blocks back — the executor only aborts before any
-// block moved).
-func (v *VMDK) abortMigration() {
+// beginAbort starts unwinding the migration: mirroring stops (new writes
+// land on the source, clearing their bitmap bits), and the copy engine
+// walks migrated blocks back from the destination. The bitmap stays — it
+// is exactly the record of which blocks must return.
+func (v *VMDK) beginAbort() {
+	v.mirroring = false
+	v.aborting = true
+}
+
+// finishAbort drops destination state once every block is back on the
+// source; the VMDK is fully consistent at its original location.
+func (v *VMDK) finishAbort() {
 	v.dst = nil
 	v.bitmap = nil
 	v.migrated = 0
 	v.mirroring = false
+	v.aborting = false
 }
+
+// Aborting reports whether the migration is unwinding.
+func (v *VMDK) Aborting() bool { return v.aborting }
 
 // blockMigrated reports whether block b lives at the destination.
 func (v *VMDK) blockMigrated(b int64) bool {
@@ -121,6 +133,18 @@ func (v *VMDK) markMigrated(b int64) {
 	}
 }
 
+// markUnmigrated clears block b back to source-resident (abort unwinding
+// and abort-time writes use this).
+func (v *VMDK) markUnmigrated(b int64) {
+	if v.bitmap == nil {
+		return
+	}
+	if v.blockMigrated(b) {
+		v.bitmap[b/64] &^= 1 << (uint(b) % 64)
+		v.migrated--
+	}
+}
+
 // Submit implements workload.Target: routes the request to the datastore
 // currently holding its blocks. Requests spanning the migration frontier
 // split at block granularity; for simplicity a spanning request routes by
@@ -136,6 +160,16 @@ func (v *VMDK) Submit(r *trace.IORequest, done device.Completion) {
 		return
 	}
 	block := r.Offset / BlockSize
+	if v.aborting && r.Op == trace.OpWrite {
+		// Abort unwinding: fresh writes land on the source and clear their
+		// bitmap bits — the copy-back engine then has less to move, and the
+		// source copy stays authoritative.
+		for b := block; b <= (r.Offset+r.Size-1)/BlockSize && b < v.Blocks(); b++ {
+			v.markUnmigrated(b)
+		}
+		v.forward(v.src, v.srcBase, r, done)
+		return
+	}
 	if r.Op == trace.OpWrite && v.mirroring {
 		// I/O mirroring: upcoming writes land at the new location,
 		// marking their blocks migrated so no copy is needed (§5.2).
@@ -159,6 +193,7 @@ func (v *VMDK) forward(ds *Datastore, base int64, r *trace.IORequest, done devic
 	ds.Submit(&clone, func(c *trace.IORequest) {
 		r.Issue = c.Issue
 		r.Complete = c.Complete
+		r.Err = c.Err
 		if done != nil {
 			done(r)
 		}

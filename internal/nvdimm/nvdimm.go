@@ -251,6 +251,13 @@ func (n *NVDIMM) Submit(r *trace.IORequest, done device.Completion) {
 			done(req)
 		}
 	}
+	if r.Err != nil {
+		// Pre-marked failure (fault injection): the request pays its channel
+		// crossings — the device spent that long before reporting the error —
+		// but commits nothing to the cache, FTL, or flash.
+		n.requestCrossings(r, len(n.pagesOf(r)), func() { n.complete(r, wrapped) })
+		return
+	}
 	if r.Op == trace.OpRead {
 		n.read(r, wrapped)
 		return

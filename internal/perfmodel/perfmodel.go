@@ -117,6 +117,10 @@ type Monitor struct {
 	dev      device.Device
 	analyzer *trace.Analyzer
 	inflight int
+	// windowErrors/totalErrors count failed completions; the management
+	// layer's quarantine logic steers by the per-window rate.
+	windowErrors int
+	totalErrors  uint64
 }
 
 // NewMonitor wraps dev.
@@ -132,7 +136,15 @@ func (m *Monitor) Submit(r *trace.IORequest, done device.Completion) {
 	m.inflight++
 	m.dev.Submit(r, func(completed *trace.IORequest) {
 		m.inflight--
-		m.analyzer.Complete(completed, completed.Complete)
+		if completed.Err != nil {
+			// A failed request occupied the device (the OIO integral must
+			// advance) but its time-to-failure is not service latency.
+			m.windowErrors++
+			m.totalErrors++
+			m.analyzer.Fail(completed, completed.Complete)
+		} else {
+			m.analyzer.Complete(completed, completed.Complete)
+		}
 		if done != nil {
 			done(completed)
 		}
@@ -158,11 +170,19 @@ func (m *Monitor) Window() (wc trace.WC, mpUS float64, n int) {
 	return
 }
 
+// WindowErrors returns the number of failed completions in the current
+// window.
+func (m *Monitor) WindowErrors() int { return m.windowErrors }
+
+// TotalErrors returns the lifetime failed-completion count.
+func (m *Monitor) TotalErrors() uint64 { return m.totalErrors }
+
 // ResetWindow starts a new measurement window, carrying over the
 // currently in-flight request count so the OIO integral stays correct.
 func (m *Monitor) ResetWindow() {
 	m.analyzer.Reset()
 	m.analyzer.SeedOutstanding(m.inflight)
+	m.windowErrors = 0
 }
 
 // FeatureImportance returns the trained model's per-feature importance

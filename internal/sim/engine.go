@@ -82,6 +82,13 @@ type Engine struct {
 	stopped bool
 	// processed counts executed events, exposed for instrumentation.
 	processed uint64
+
+	// Watchdog budget (SetBudget): a run that executes more events or
+	// advances the clock further than budgeted returns an error instead of
+	// spinning forever. Zero values disarm each limit.
+	budgetEvents   uint64 // absolute processed-count limit (0 = off)
+	budgetDeadline Time   // absolute sim-time limit (0 = off)
+	budgetErr      error
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -134,27 +141,78 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until the queue drains or Stop is called.
-func (e *Engine) Run() {
-	e.stopped = false
-	for !e.stopped && e.Step() {
+// SetBudget arms the watchdog: subsequent Run/RunUntil/RunFor calls return
+// an error once more than maxEvents further events execute, or once the
+// next event would run after now+maxSimTime. Either limit can be 0 to
+// disarm it; SetBudget(0, 0) disarms the watchdog entirely and clears any
+// tripped state. The budget exists so a lost completion callback under
+// fault injection — which keeps closed-loop workloads refilling forever —
+// fails a run loudly instead of spinning without end.
+func (e *Engine) SetBudget(maxEvents uint64, maxSimTime Time) {
+	e.budgetErr = nil
+	if maxEvents > 0 {
+		e.budgetEvents = e.processed + maxEvents
+	} else {
+		e.budgetEvents = 0
+	}
+	if maxSimTime > 0 {
+		e.budgetDeadline = e.now + maxSimTime
+	} else {
+		e.budgetDeadline = 0
 	}
 }
 
+// BudgetErr returns the watchdog error if a budget has been exceeded, else
+// nil. Once tripped the error persists until SetBudget is called again.
+func (e *Engine) BudgetErr() error { return e.budgetErr }
+
+// checkBudget trips the watchdog if a limit has been exceeded.
+func (e *Engine) checkBudget() error {
+	if e.budgetErr != nil {
+		return e.budgetErr
+	}
+	if e.budgetEvents > 0 && e.processed >= e.budgetEvents {
+		e.budgetErr = fmt.Errorf("sim: watchdog: event budget exhausted (%d events executed, clock at %v)", e.processed, e.now)
+	} else if e.budgetDeadline > 0 && len(e.queue) > 0 && e.queue[0].at > e.budgetDeadline {
+		e.budgetErr = fmt.Errorf("sim: watchdog: sim-time budget exhausted (next event at %v, deadline %v)", e.queue[0].at, e.budgetDeadline)
+	}
+	return e.budgetErr
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// a non-nil error only when a SetBudget watchdog limit is exceeded.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for !e.stopped {
+		if err := e.checkBudget(); err != nil {
+			return err
+		}
+		if !e.Step() {
+			break
+		}
+	}
+	return nil
+}
+
 // RunUntil executes events with timestamps <= t, then advances the clock to
-// t (if the clock has not already passed it).
-func (e *Engine) RunUntil(t Time) {
+// t (if the clock has not already passed it). It returns a non-nil error
+// only when a SetBudget watchdog limit is exceeded.
+func (e *Engine) RunUntil(t Time) error {
 	e.stopped = false
 	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= t {
+		if err := e.checkBudget(); err != nil {
+			return err
+		}
 		e.Step()
 	}
 	if e.now < t {
 		e.now = t
 	}
+	return nil
 }
 
 // RunFor executes events for d simulated nanoseconds from the current time.
-func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+func (e *Engine) RunFor(d Time) error { return e.RunUntil(e.now + d) }
 
 // Stop halts Run/RunUntil after the currently executing event returns.
 func (e *Engine) Stop() { e.stopped = true }

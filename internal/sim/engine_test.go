@@ -222,3 +222,94 @@ func TestEngineOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWatchdogEventBudget(t *testing.T) {
+	e := NewEngine()
+	var ticks int
+	var tick func()
+	tick = func() {
+		ticks++
+		e.Schedule(Microsecond, tick) // self-perpetuating: would run forever
+	}
+	e.Schedule(0, tick)
+	e.SetBudget(100, 0)
+	if err := e.Run(); err == nil {
+		t.Fatal("runaway loop did not trip the event budget")
+	}
+	if ticks > 100 {
+		t.Fatalf("budget of 100 let %d events through", ticks)
+	}
+	if e.BudgetErr() == nil {
+		t.Fatal("tripped state not sticky")
+	}
+	// Still tripped: further runs fail immediately without progress.
+	before := e.Processed()
+	if err := e.Run(); err == nil {
+		t.Fatal("tripped watchdog allowed another run")
+	}
+	if e.Processed() != before {
+		t.Fatal("tripped watchdog still executed events")
+	}
+	// Re-arming clears the trip.
+	e.SetBudget(0, 0)
+	if e.BudgetErr() != nil {
+		t.Fatal("SetBudget(0,0) did not clear the trip")
+	}
+}
+
+func TestWatchdogSimTimeBudget(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	tick = func() { e.Schedule(Millisecond, tick) }
+	e.Schedule(0, tick)
+	e.SetBudget(0, 10*Millisecond)
+	err := e.Run()
+	if err == nil {
+		t.Fatal("unbounded clock advance did not trip the sim-time budget")
+	}
+	if e.Now() > 10*Millisecond {
+		t.Fatalf("clock ran to %v past the 10ms deadline", e.Now())
+	}
+}
+
+func TestWatchdogBudgetIsAbsolute(t *testing.T) {
+	// The limits are relative to the SetBudget call, not simulation zero.
+	e := NewEngine()
+	for i := 0; i < 50; i++ {
+		e.Schedule(Time(i)*Microsecond, func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.SetBudget(50, 0) // 50 more, on top of the 50 already processed
+	for i := 0; i < 49; i++ {
+		e.Schedule(Time(i)*Microsecond, func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("49 events within a fresh 50-event budget tripped: %v", err)
+	}
+}
+
+func TestWatchdogDisarmedByDefault(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10000; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("unarmed watchdog returned %v", err)
+	}
+}
+
+func TestWatchdogRunForHonorsDeadline(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	tick = func() { e.Schedule(Millisecond, tick) }
+	e.Schedule(0, tick)
+	e.SetBudget(0, 5*Millisecond)
+	if err := e.RunFor(3 * Millisecond); err != nil {
+		t.Fatalf("run within budget tripped: %v", err)
+	}
+	if err := e.RunFor(10 * Millisecond); err == nil {
+		t.Fatal("RunFor past the deadline did not trip")
+	}
+}

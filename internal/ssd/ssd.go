@@ -174,6 +174,19 @@ func (s *SSD) Submit(r *trace.IORequest, done device.Completion) {
 			done(req)
 		}
 	}
+	if r.Err != nil {
+		// Pre-marked failure (fault injection): the request pays the host
+		// stack overhead and PCIe link occupancy before reporting the error,
+		// but never touches the write buffer or flash.
+		ov := WriteOverhead
+		if r.Op == trace.OpRead {
+			ov = ReadOverhead
+		}
+		s.eng.Schedule(ov, func() {
+			s.acquireLink(r.Size, func() { s.complete(r, wrapped) })
+		})
+		return
+	}
 	if r.Op == trace.OpRead {
 		s.read(r, wrapped)
 	} else {

@@ -12,6 +12,10 @@ import (
 // buildAndRun assembles a small fully instrumented system and returns its
 // exported trace and metrics CSV bytes.
 func buildAndRun(t *testing.T, seed uint64) (traceOut, csvOut []byte) {
+	return buildAndRunSpec(t, seed, "")
+}
+
+func buildAndRunSpec(t *testing.T, seed uint64, faultSpec string) (traceOut, csvOut []byte) {
 	t.Helper()
 	tel := &core.Telemetry{
 		Registry:    telemetry.NewRegistry(),
@@ -23,11 +27,14 @@ func buildAndRun(t *testing.T, seed uint64) (traceOut, csvOut []byte) {
 		Apps:      []string{"sort", "bayes"},
 		Seed:      seed,
 		Telemetry: tel,
+		FaultSpec: faultSpec,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Run(60 * sim.Millisecond)
+	if err := sys.Run(60 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
 
 	var tb, cb bytes.Buffer
 	if err := tel.Tracer.WriteChromeTrace(&tb); err != nil {
@@ -60,6 +67,27 @@ func TestTraceDeterminism(t *testing.T) {
 	trace3, _ := buildAndRun(t, 8)
 	if bytes.Equal(trace1, trace3) {
 		t.Error("different seeds produced identical traces")
+	}
+}
+
+// TestDormantFaultSpecIsInvisible: arming a fault spec whose windows lie
+// entirely beyond the end of the run must leave the simulation untouched —
+// the injector draws from its own RNG streams, so a same-seed run with a
+// dormant spec produces a byte-identical Chrome trace. (The metrics CSV is
+// excluded: registering the injector's gauges legitimately adds columns.)
+func TestDormantFaultSpecIsInvisible(t *testing.T) {
+	clean, _ := buildAndRun(t, 7)
+	dormant, _ := buildAndRunSpec(t, 7,
+		"dev=node0-nvdimm:errate=0.5@1s..2s,degrade=4@1s..2s;dev=node0-ssd:outage@1s..2s")
+	if !bytes.Equal(clean, dormant) {
+		t.Error("dormant fault spec perturbed the simulation (traces differ)")
+	}
+
+	// And once a window does overlap the run, the trace must change: the
+	// injector actually fires.
+	active, _ := buildAndRunSpec(t, 7, "dev=node0-nvdimm:errate=0.5@5ms..50ms")
+	if bytes.Equal(clean, active) {
+		t.Error("active fault spec left the trace unchanged")
 	}
 }
 

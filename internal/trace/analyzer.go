@@ -99,6 +99,17 @@ func (a *Analyzer) Complete(r *IORequest, t sim.Time) {
 	a.latencyCount++
 }
 
+// Fail records a failed completion at time t: the request stops occupying
+// the device (the OIO integral advances and outstanding drops) but its
+// latency is excluded from the measured-performance statistics, which must
+// describe successful service only.
+func (a *Analyzer) Fail(r *IORequest, t sim.Time) {
+	a.observeTime(t)
+	if a.outstanding > 0 {
+		a.outstanding--
+	}
+}
+
 // SetFreeSpaceRatio records the device's free-space fraction for the
 // window (sampled, not derived from the stream).
 func (a *Analyzer) SetFreeSpaceRatio(f float64) {

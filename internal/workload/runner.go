@@ -40,7 +40,8 @@ type Runner struct {
 
 	issued    uint64
 	completed uint64
-	latency   sim.Time // cumulative
+	errored   uint64
+	latency   sim.Time // cumulative, successful completions only
 
 	// OnComplete, when set, observes every completed request.
 	OnComplete func(*trace.IORequest)
@@ -84,8 +85,13 @@ func (r *Runner) Stop() { r.running = false }
 // Issued returns the number of requests issued.
 func (r *Runner) Issued() uint64 { return r.issued }
 
-// Completed returns the number of completions observed.
+// Completed returns the number of successful completions observed.
 func (r *Runner) Completed() uint64 { return r.completed }
+
+// Errored returns the number of requests that completed with an injected
+// or device error. Errored requests still refill the closed loop but are
+// excluded from completion counts and latency.
+func (r *Runner) Errored() uint64 { return r.errored }
 
 // TotalLatency returns the cumulative completion latency observed.
 func (r *Runner) TotalLatency() sim.Time { return r.latency }
@@ -114,6 +120,7 @@ func (r *Runner) SetTracer(tr *telemetry.Tracer, track string) {
 func (r *Runner) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
 	reg.Gauge(prefix+"issued", func() float64 { return float64(r.issued) })
 	reg.Gauge(prefix+"completed", func() float64 { return float64(r.completed) })
+	reg.Gauge(prefix+"errors", func() float64 { return float64(r.errored) })
 	reg.Gauge(prefix+"inflight", func() float64 { return float64(r.inFlight) })
 	reg.Gauge(prefix+"mean_lat_us", func() float64 { return r.MeanLatency().Micros() })
 }
@@ -189,8 +196,15 @@ func (r *Runner) issueOne() {
 	}
 	r.target.Submit(req, func(done *trace.IORequest) {
 		r.inFlight--
-		r.completed++
-		r.latency += done.Latency()
+		if done.Failed() {
+			// The closed loop still refills — an application retries or
+			// moves on — but failures do not count as served requests and
+			// their (short-circuited) latency would pollute the mean.
+			r.errored++
+		} else {
+			r.completed++
+			r.latency += done.Latency()
+		}
 		if r.tr != nil {
 			r.tr.Complete(r.track, done.Op.String(), "workload", done.Issue, done.Complete,
 				telemetry.U("req", done.ID), telemetry.I("vmdk", int64(done.VMDK)),
