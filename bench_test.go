@@ -9,8 +9,12 @@
 package repro
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/perfmodel"
@@ -302,11 +306,85 @@ func BenchmarkPlacementStudy(b *testing.B) {
 // reports the Policy One makespan gain.
 func BenchmarkFig9Schedule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig9()
+		r := experiments.Fig9(experiments.Quick())
 		base := r.Makespan("baseline")
 		p1 := r.Makespan("Policy One")
 		if p1 > 0 {
 			b.ReportMetric(float64(base)/float64(p1), "p1_makespan_gain")
 		}
+	}
+}
+
+// benchParallelCells is the slice of the experiment matrix used to
+// measure harness speedup: cells without model training, covering all
+// three intra-cell fan-out shapes (fig5 sweep points, fig9 policy
+// schedules, faults scenario systems) plus cells that only parallelize at
+// the matrix level.
+var benchParallelCells = []string{"table4", "fig5", "fig9", "fig14", "fig15", "dax", "faults"}
+
+// benchParallelRecord is the schema of BENCH_parallel.json.
+type benchParallelRecord struct {
+	Cells        []string `json:"cells"`
+	GOMAXPROCS   int      `json:"gomaxprocs"`
+	Iterations   int      `json:"iterations"`
+	SequentialS  float64  `json:"sequential_s"` // mean wall time at -jobs 1
+	ParallelS    float64  `json:"parallel_s"`   // mean wall time at -jobs GOMAXPROCS
+	Speedup      float64  `json:"speedup"`
+	ParallelJobs int      `json:"parallel_jobs"`
+}
+
+// BenchmarkExperimentsParallel times the same matrix slice under the
+// sequential reference schedule (-jobs 1) and sharded across GOMAXPROCS
+// workers, reports the speedup as a metric, and records both wall times
+// in BENCH_parallel.json. The outputs are byte-identical between the two
+// schedules (see TestMatrixParallelDeterminism in internal/experiments);
+// this benchmark measures only the wall-clock gap.
+func BenchmarkExperimentsParallel(b *testing.B) {
+	run := func(jobs int) time.Duration {
+		sc := experiments.Quick()
+		sc.Jobs = jobs
+		start := time.Now()
+		res, err := experiments.RunMatrix(experiments.MatrixOptions{
+			Names: benchParallelCells, Scale: sc,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Err != nil {
+				b.Fatalf("%s: %v", r.Name, r.Err)
+			}
+		}
+		return time.Since(start)
+	}
+	var seq, par time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq += run(1)
+		par += run(0)
+	}
+	b.StopTimer()
+	speedup := 0.0
+	if par > 0 {
+		speedup = float64(seq) / float64(par)
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(seq.Seconds()/float64(b.N), "seq_s/op")
+	b.ReportMetric(par.Seconds()/float64(b.N), "par_s/op")
+	rec := benchParallelRecord{
+		Cells:        benchParallelCells,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Iterations:   b.N,
+		SequentialS:  seq.Seconds() / float64(b.N),
+		ParallelS:    par.Seconds() / float64(b.N),
+		Speedup:      speedup,
+		ParallelJobs: runtime.GOMAXPROCS(0),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -3,15 +3,23 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|table2|table3|table4|table5|fig4|fig5|
-//	             fig7|fig9|fig12|fig13|fig14|fig15|fig16|fig17|tau|
-//	             placement|dax|faults|ablations]
-//	            [-scale quick|full] [-seed N]
+//	experiments [-exp all | comma list of table1|table2|table3|table4|
+//	             table5|fig4|fig5|fig7|fig9|fig12|fig13|fig14|fig15|
+//	             fig16|fig17|tau|placement|dax|faults|ablations]
+//	            [-scale quick|full] [-seed N] [-jobs N]
 //	            [-trace-out FILE] [-metrics-out FILE] [-sample-ms N]
 //
+// -jobs N shards independent experiment cells (and the sweep points
+// inside them) across min(N, cells) worker goroutines; 0 means
+// min(GOMAXPROCS, cells). The report on stdout is byte-identical for
+// every -jobs value: results are collected by cell index, never by
+// completion order, and wall-clock timings go to stderr. See DESIGN.md
+// §9 for the determinism contract.
+//
 // The telemetry flags instrument every system the selected experiments
-// build: spans from all of them land in one trace (tracks namespaced
-// "sys<k>.…" in construction order) and sampled metrics in one CSV.
+// build: spans from all of them land in one trace and sampled metrics in
+// one CSV, with tracks namespaced "sys<k>.…" by the experiment matrix's
+// canonical order — stable across -jobs settings.
 package main
 
 import (
@@ -20,40 +28,22 @@ import (
 	"log"
 	"os"
 	"strings"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/perfmodel"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1..table5, fig4..fig17, tau, faults, ...)")
+	exp := flag.String("exp", "all", "experiments to run: all, or a comma list of table1..table5, fig4..fig17, tau, faults, ...")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	seed := flag.Uint64("seed", 99, "model-training seed")
+	jobs := flag.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS, 1 = sequential)")
 	traceOut := flag.String("trace-out", "", "write spans from every built system (Chrome trace JSON; .jsonl = line-delimited)")
 	metricsOut := flag.String("metrics-out", "", "write sampled metrics from every built system as CSV")
 	sampleMS := flag.Int("sample-ms", 25, "metric sampling interval in simulated milliseconds")
 	flag.Parse()
-
-	var tel *core.Telemetry
-	if *traceOut != "" || *metricsOut != "" {
-		tel = &core.Telemetry{}
-		if *traceOut != "" {
-			tel.Tracer = telemetry.NewTracer()
-		}
-		if *metricsOut != "" {
-			if *sampleMS <= 0 {
-				*sampleMS = 25
-			}
-			tel.Registry = telemetry.NewRegistry()
-			tel.Series = &telemetry.Series{}
-			tel.SampleEvery = sim.Time(*sampleMS) * sim.Millisecond
-		}
-		core.SetDefaultTelemetry(tel)
-	}
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -64,99 +54,58 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q (quick|full)", *scaleName)
 	}
+	if *sampleMS <= 0 {
+		*sampleMS = 25
+	}
+	scope := core.NewTelemetryScope(*traceOut != "", *metricsOut != "",
+		sim.Time(*sampleMS)*sim.Millisecond)
+	scale.Scope = scope
+	scale.Jobs = *jobs
 
-	var model *perfmodel.Model
-	needModel := func() *perfmodel.Model {
-		if model == nil {
+	var names []string
+	if want := strings.ToLower(*exp); want != "all" {
+		names = strings.Split(want, ",")
+	}
+	results, err := experiments.RunMatrix(experiments.MatrixOptions{
+		Names: names,
+		Scale: scale,
+		Seed:  *seed,
+		OnModelTrain: func() {
 			fmt.Fprintln(os.Stderr, "training NVDIMM performance model...")
-			m, err := core.TrainScaledNVDIMMModel(*seed)
-			if err != nil {
-				log.Fatalf("model training: %v", err)
-			}
-			model = m
-		}
-		return model
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	type runner struct {
-		name string
-		run  func() (fmt.Stringer, error)
-	}
-	str := func(s string) fmt.Stringer { return stringResult(s) }
-	all := []runner{
-		{"table1", func() (fmt.Stringer, error) { return experiments.Table1(), nil }},
-		{"table2", func() (fmt.Stringer, error) { r, err := experiments.Table2(scale); return r, err }},
-		{"table3", func() (fmt.Stringer, error) { r, err := experiments.Table3(); return r, err }},
-		{"table4", func() (fmt.Stringer, error) { return str(experiments.Table4()), nil }},
-		{"table5", func() (fmt.Stringer, error) { return str(experiments.Table5()), nil }},
-		{"fig4", func() (fmt.Stringer, error) { r, err := experiments.Fig4(scale); return r, err }},
-		{"fig5", func() (fmt.Stringer, error) { return experiments.Fig5(scale), nil }},
-		{"fig9", func() (fmt.Stringer, error) { return experiments.Fig9(), nil }},
-		{"fig7", func() (fmt.Stringer, error) {
-			a, err := experiments.Fig7(1.0, scale)
-			if err != nil {
-				return nil, err
-			}
-			b, err := experiments.Fig7(0.1, scale)
-			if err != nil {
-				return nil, err
-			}
-			return str(a.String() + "\n" + b.String()), nil
-		}},
-		{"fig12", func() (fmt.Stringer, error) { r, err := experiments.Fig12(scale, needModel()); return r, err }},
-		{"fig13", func() (fmt.Stringer, error) { r, err := experiments.Fig13(scale, needModel()); return r, err }},
-		{"fig14", func() (fmt.Stringer, error) { return experiments.Fig14(scale), nil }},
-		{"fig15", func() (fmt.Stringer, error) { return experiments.Fig15(scale), nil }},
-		{"fig16", func() (fmt.Stringer, error) { return experiments.Fig16(scale), nil }},
-		{"fig17", func() (fmt.Stringer, error) { r, err := experiments.Fig17(scale, needModel()); return r, err }},
-		{"tau", func() (fmt.Stringer, error) { r, err := experiments.TauSweep(scale, needModel()); return r, err }},
-		{"placement", func() (fmt.Stringer, error) { r, err := experiments.PlacementStudy(scale, needModel()); return r, err }},
-		{"dax", func() (fmt.Stringer, error) { return experiments.DAXStudy(scale), nil }},
-		{"faults", func() (fmt.Stringer, error) { r, err := experiments.FaultMatrix(scale); return r, err }},
-		{"ablations", func() (fmt.Stringer, error) {
-			ma, err := experiments.ModelAblation(scale, *seed)
-			if err != nil {
-				return nil, err
-			}
-			la := experiments.LambdaAblation(scale)
-			na := experiments.NPBAblation()
-			mi, err := experiments.MirroringAblation(scale, needModel())
-			if err != nil {
-				return nil, err
-			}
-			return str(ma.String() + "\n" + la.String() + "\n" + na.String() + "\n" + mi.String()), nil
-		}},
-	}
-
-	want := strings.ToLower(*exp)
-	ran := 0
-	for _, r := range all {
-		if want != "all" && want != r.name {
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, r.Err)
 			continue
 		}
-		ran++
-		start := time.Now()
-		res, err := r.run()
-		if err != nil {
-			log.Fatalf("%s: %v", r.name, err)
-		}
-		fmt.Printf("===== %s (%.1fs) =====\n%s\n", r.name, time.Since(start).Seconds(), res)
-	}
-	if ran == 0 {
-		log.Fatalf("unknown experiment %q", *exp)
+		fmt.Printf("===== %s =====\n%s\n", r.Name, r.Text)
+		fmt.Fprintf(os.Stderr, "%s finished in %.1fs\n", r.Name, r.Elapsed.Seconds())
 	}
 
-	if *traceOut != "" {
-		if err := writeTrace(*traceOut, tel.Tracer); err != nil {
-			log.Fatalf("trace export: %v", err)
+	if scope.Enabled() {
+		tel := scope.Merge()
+		if *traceOut != "" {
+			if err := writeTrace(*traceOut, tel.Tracer); err != nil {
+				log.Fatalf("trace export: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tel.Tracer.NumEvents(), *traceOut)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tel.Tracer.NumEvents(), *traceOut)
+		if *metricsOut != "" {
+			if err := writeCSV(*metricsOut, tel.Series); err != nil {
+				log.Fatalf("metrics export: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d metric samples to %s\n", tel.Series.Len(), *metricsOut)
+		}
 	}
-	if *metricsOut != "" {
-		if err := writeCSV(*metricsOut, tel.Series); err != nil {
-			log.Fatalf("metrics export: %v", err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %d metric samples to %s\n", tel.Series.Len(), *metricsOut)
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 
@@ -190,8 +139,3 @@ func writeCSV(path string, s *telemetry.Series) error {
 	}
 	return err
 }
-
-// stringResult adapts a plain string to fmt.Stringer.
-type stringResult string
-
-func (s stringResult) String() string { return string(s) }

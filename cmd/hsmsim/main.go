@@ -8,8 +8,18 @@
 //	       [-mem 429.mcf|470.lbm|433.milc] [-memscale F]
 //	       [-nodes N] [-duration MS] [-apps a,b,c] [-tau F] [-seed N]
 //	       [-bypass] [-sched baseline|p1|p2|both]
+//	       [-replicas N] [-replica-seeds S1,S2,...] [-jobs N]
 //	       [-trace-out FILE] [-metrics-out FILE] [-sample-ms N] [-declog N]
 //	       [-fault-spec SPEC] [-max-events N]
+//
+// With -replicas N the same configuration runs N times under different
+// seeds (default seed, seed+1, ...; override with -replica-seeds), the
+// replicas sharded across -jobs worker goroutines (0 = GOMAXPROCS). Each
+// replica prints a one-line summary in replica order, followed by an
+// aggregate mean/p95 line over latency and IOPS — the output is identical
+// for every -jobs value. Telemetry from all replicas merges into single
+// -trace-out/-metrics-out artifacts with tracks namespaced "sys<k>.…" by
+// replica index.
 //
 // With -trace-out the run records per-request, bus, scheduler, and
 // migration spans and writes a Chrome trace_event file (load it in
@@ -31,12 +41,15 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/memsched"
 	"repro/internal/mgmt"
+	"repro/internal/runpool"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
 
@@ -93,6 +106,9 @@ func main() {
 	decLog := flag.Int("declog", 1024, "management decision-log capacity (0 = off)")
 	faultSpec := flag.String("fault-spec", "", `deterministic fault injection, e.g. "dev=node0-nvdimm:errate=0.2@40ms..240ms;link=0-1:drop=0.1"`)
 	maxEvents := flag.Uint64("max-events", 0, "abort the run after this many engine events (0 = unlimited)")
+	replicas := flag.Int("replicas", 1, "run the configuration N times under different seeds")
+	replicaSeeds := flag.String("replica-seeds", "", "comma-separated seeds, one per replica (default: seed, seed+1, ...)")
+	jobs := flag.Int("jobs", 0, "parallel replica jobs (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	scheme, err := schemeByName(*schemeName)
@@ -143,6 +159,19 @@ func main() {
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
 	}
+	dur := sim.Time(*durationMS) * sim.Millisecond
+
+	if *replicas > 1 {
+		if *sampleMS <= 0 {
+			*sampleMS = 25
+		}
+		err := runReplicas(opts, scheme, *replicas, *replicaSeeds, *jobs, dur,
+			*traceOut, *metricsOut, *sampleMS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if scheme.BCAModel {
 		fmt.Println("training NVDIMM performance model...")
@@ -151,7 +180,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dur := sim.Time(*durationMS) * sim.Millisecond
 	fmt.Printf("running %s for %v (nodes=%d mem=%q)...\n", scheme.Name, dur, *nodes, *mem)
 	if err := sys.Run(dur); err != nil {
 		log.Fatalf("run aborted: %v", err)
@@ -178,6 +206,94 @@ func main() {
 		}
 		fmt.Printf("wrote %d metric samples to %s\n", series.Len(), *metricsOut)
 	}
+}
+
+// runReplicas executes the configuration n times under different seeds,
+// sharded across the run pool. Per-replica summary lines print in replica
+// order — never completion order — followed by a mean/p95 aggregate, so
+// the output is identical for every -jobs value. When a BCA scheme needs
+// the performance model it is trained once from the base seed and shared
+// read-only by all replicas. Telemetry from all replicas merges into
+// single artifacts with "sys<k>." tracks numbered by replica index.
+func runReplicas(opts core.Options, scheme mgmt.Scheme, n int, seedList string,
+	jobs int, dur sim.Time, traceOut, metricsOut string, sampleMS int) error {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = opts.Seed + uint64(i)
+	}
+	if seedList != "" {
+		parts := strings.Split(seedList, ",")
+		if len(parts) != n {
+			return fmt.Errorf("-replica-seeds has %d entries, want %d", len(parts), n)
+		}
+		for i, p := range parts {
+			v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				return fmt.Errorf("-replica-seeds[%d]: %v", i, err)
+			}
+			seeds[i] = v
+		}
+	}
+
+	if scheme.BCAModel && opts.Model == nil {
+		fmt.Println("training NVDIMM performance model...")
+		m, err := core.TrainScaledNVDIMMModel(opts.Seed)
+		if err != nil {
+			return err
+		}
+		opts.Model = m
+	}
+
+	scope := core.NewTelemetryScope(traceOut != "", metricsOut != "",
+		sim.Time(sampleMS)*sim.Millisecond)
+	scopes := scope.Fork(n)
+
+	fmt.Printf("running %s x%d replicas for %v (nodes=%d mem=%q)...\n",
+		scheme.Name, n, dur, opts.Nodes, opts.MemProfile)
+	reports, errs := runpool.Do(jobs, n, func(i int) (core.Report, error) {
+		o := opts
+		o.Seed = seeds[i]
+		o.Telemetry = nil
+		o.Scope = scopes[i]
+		sys, err := core.NewSystem(o)
+		if err != nil {
+			return core.Report{}, fmt.Errorf("replica %d (seed %d): %w", i, seeds[i], err)
+		}
+		if err := sys.Run(dur); err != nil {
+			return core.Report{}, fmt.Errorf("replica %d (seed %d): %w", i, seeds[i], err)
+		}
+		return sys.Report(), nil
+	})
+	if err := runpool.FirstError(errs); err != nil {
+		return err
+	}
+
+	var lat, iops stats.Sample
+	for i, rep := range reports {
+		fmt.Printf("replica %d (seed %d): mean latency %.1fus, mean IOPS %.0f\n",
+			i, seeds[i], rep.MeanLatencyUS, rep.MeanIOPS)
+		lat.Add(rep.MeanLatencyUS)
+		iops.Add(rep.MeanIOPS)
+	}
+	fmt.Printf("aggregate over %d replicas: mean latency %.1fus (p95 %.1fus), mean IOPS %.0f (p95 %.0f)\n",
+		n, lat.Mean(), lat.Percentile(95), iops.Mean(), iops.Percentile(95))
+
+	if scope.Enabled() {
+		tel := scope.Merge()
+		if traceOut != "" {
+			if err := writeTrace(traceOut, tel.Tracer); err != nil {
+				return fmt.Errorf("trace export: %w", err)
+			}
+			fmt.Printf("wrote %d trace events to %s\n", tel.Tracer.NumEvents(), traceOut)
+		}
+		if metricsOut != "" {
+			if err := writeCSV(metricsOut, tel.Series); err != nil {
+				return fmt.Errorf("metrics export: %w", err)
+			}
+			fmt.Printf("wrote %d metric samples to %s\n", tel.Series.Len(), metricsOut)
+		}
+	}
+	return nil
 }
 
 // writeTrace exports recorded spans: Chrome trace JSON by default, JSONL

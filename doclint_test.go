@@ -1,0 +1,103 @@
+// Doc lint: the CI doc-lint step runs these tests (alongside gofmt -l and
+// go vet) to hold the documentation floor the repository promises —
+// every internal package explains itself, and the concurrency-critical
+// runpool package documents every exported symbol.
+package repro
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseDirNoTests parses a package directory, skipping _test.go files.
+func parseDirNoTests(t *testing.T, dir string) map[string]*ast.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir,
+		func(fi os.FileInfo) bool { return !strings.HasSuffix(fi.Name(), "_test.go") },
+		parser.ParseComments)
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+	return pkgs
+}
+
+// TestDocLintPackageComments requires a package doc comment in every
+// internal/* package: the one-paragraph contract a reader gets from
+// `go doc repro/internal/<pkg>`.
+func TestDocLintPackageComments(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no internal packages found (run from the repo root)")
+	}
+	for _, dir := range dirs {
+		fi, err := os.Stat(dir)
+		if err != nil || !fi.IsDir() {
+			continue
+		}
+		for name, pkg := range parseDirNoTests(t, dir) {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (%s) has no package doc comment", name, dir)
+			}
+		}
+	}
+}
+
+// TestDocLintRunpoolExported requires a doc comment on every exported
+// top-level symbol of internal/runpool — the package other code copies
+// its concurrency discipline from, so undocumented surface there is a
+// determinism bug waiting to happen.
+func TestDocLintRunpoolExported(t *testing.T) {
+	for _, pkg := range parseDirNoTests(t, "internal/runpool") {
+		for path, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() {
+						continue
+					}
+					if d.Doc == nil || strings.TrimSpace(d.Doc.Text()) == "" {
+						t.Errorf("%s: exported func %s lacks a doc comment", path, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						var names []*ast.Ident
+						var specDoc *ast.CommentGroup
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							names = []*ast.Ident{s.Name}
+							specDoc = s.Doc
+						case *ast.ValueSpec:
+							names = s.Names
+							specDoc = s.Doc
+						default:
+							continue
+						}
+						hasDoc := (d.Doc != nil && strings.TrimSpace(d.Doc.Text()) != "") ||
+							(specDoc != nil && strings.TrimSpace(specDoc.Text()) != "")
+						for _, name := range names {
+							if name.IsExported() && !hasDoc {
+								t.Errorf("%s: exported %s lacks a doc comment", path, name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -72,9 +72,14 @@ type Options struct {
 	// WorkloadSkew applies a Zipf-like hot-spot distribution to every
 	// application's random accesses (0 = the profiles' uniform jumps).
 	WorkloadSkew float64
-	// Telemetry attaches observability sinks (nil = adopt the process
-	// default installed via SetDefaultTelemetry, or run uninstrumented).
+	// Telemetry attaches explicit observability sinks owned by exactly
+	// this system (nil = consult Scope, else run uninstrumented).
 	Telemetry *Telemetry
+	// Scope, when Telemetry is nil, lets the system adopt fresh private
+	// sinks from a TelemetryScope so families of systems — possibly built
+	// and run concurrently via internal/runpool — merge into one artifact
+	// with stable "sys<k>." names after all runs return.
+	Scope *TelemetryScope
 	// FaultSpec arms deterministic fault injection (see faultinject's
 	// grammar; "" = no faults). Injection draws from its own seed-derived
 	// RNG, so a run with an empty spec is byte-identical to one built
@@ -273,7 +278,7 @@ func NewSystem(opts Options) (*System, error) {
 	if err := s.placeWorkloads(); err != nil {
 		return nil, err
 	}
-	s.wireTelemetry(adoptDefaultTelemetry(opts.Telemetry))
+	s.wireTelemetry(resolveTelemetry(opts))
 	return s, nil
 }
 

@@ -26,34 +26,18 @@ type Telemetry struct {
 	Prefix string
 }
 
-// defaultTelemetry, when set, is adopted by every NewSystem whose Options
-// carry no explicit Telemetry. Each adopting system appends "sys<k>." to
-// the prefix so registries shared across sequentially built systems (the
-// experiments binary) never collide.
-var (
-	defaultTelemetry *Telemetry
-	defaultSeq       int
-)
-
-// SetDefaultTelemetry installs (or, with nil, clears) the process-wide
-// telemetry adopted by systems built without an explicit Options.Telemetry.
-func SetDefaultTelemetry(t *Telemetry) {
-	defaultTelemetry = t
-	defaultSeq = 0
-}
-
-// adoptDefaultTelemetry resolves the telemetry a new system should use.
-func adoptDefaultTelemetry(explicit *Telemetry) *Telemetry {
-	if explicit != nil {
-		return explicit
+// resolveTelemetry picks the sinks a new system should use: an explicit
+// Options.Telemetry wins (single-system runs like cmd/hsmsim), otherwise
+// the system adopts fresh private sinks from Options.Scope (the parallel
+// harness; nil scope → uninstrumented). The old process-wide default was
+// removed when the experiment matrix went parallel: a global adopted in
+// construction order cannot give concurrent systems isolated sinks or
+// stable numbering, which is exactly what TelemetryScope does.
+func resolveTelemetry(opts Options) *Telemetry {
+	if opts.Telemetry != nil {
+		return opts.Telemetry
 	}
-	if defaultTelemetry == nil {
-		return nil
-	}
-	t := *defaultTelemetry
-	t.Prefix = fmt.Sprintf("%ssys%d.", t.Prefix, defaultSeq)
-	defaultSeq++
-	return &t
+	return opts.Scope.adopt()
 }
 
 // wireTelemetry attaches the sinks to every subsystem of the assembled

@@ -85,6 +85,9 @@ func ModelAblation(scale Scale, seed uint64) (ModelAblationResult, error) {
 	return res, nil
 }
 
+// String renders the report-text block printed under the
+// "===== ablations =====" header; the `ablations` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r ModelAblationResult) String() string {
 	t := &table{header: []string{"model", "held-out MAE"}}
 	t.add("regression tree (paper)", us(r.TreeMAE))
@@ -145,6 +148,9 @@ func LambdaAblation(scale Scale) LambdaAblationResult {
 	return res
 }
 
+// String renders the report-text block printed under the
+// "===== ablations =====" header; the `ablations` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r LambdaAblationResult) String() string {
 	t := &table{header: []string{"policy", "post-storm hit ratio"}}
 	for i, l := range r.Lambdas {
@@ -195,6 +201,9 @@ func NPBAblation() NPBAblationResult {
 	return res
 }
 
+// String renders the report-text block printed under the
+// "===== ablations =====" header; the `ablations` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r NPBAblationResult) String() string {
 	t := &table{header: []string{"configuration", "migrated mean wait"}}
 	t.add("Policy Two without NPB", us(r.WithoutNPBWaitUS))
@@ -225,6 +234,7 @@ func MirroringAblation(scale Scale, model *perfmodel.Model) (MirroringAblationRe
 			FootprintDivisor: 1024,
 			Seed:             11,
 			Mgmt:             mgmtCfg(),
+			Scope:            scale.Scope,
 		})
 		if err != nil {
 			return mgmt.Stats{}, err
@@ -243,6 +253,9 @@ func MirroringAblation(scale Scale, model *perfmodel.Model) (MirroringAblationRe
 	return res, nil
 }
 
+// String renders the report-text block printed under the
+// "===== ablations =====" header; the `ablations` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r MirroringAblationResult) String() string {
 	t := &table{header: []string{"configuration", "copied", "mirrored", "migrations"}}
 	t.add("eager full copy",

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/mgmt"
 	"repro/internal/sim"
 )
@@ -29,6 +30,16 @@ type Scale struct {
 	// FootprintDivisor scales application footprints; short runs use
 	// smaller VMDKs so migrations can complete within the run.
 	FootprintDivisor int64
+	// Scope attaches per-system telemetry to every system an experiment
+	// builds (nil = uninstrumented). Experiments that fan sweep points or
+	// scenario arms across internal/runpool workers fork one child scope
+	// per arm before launching, so merged artifacts stay byte-identical
+	// for any worker count (DESIGN.md §9).
+	Scope *core.TelemetryScope
+	// Jobs caps intra-experiment fan-out (sweep points, fault-matrix
+	// arms): 0 selects min(GOMAXPROCS, points), 1 forces the sequential
+	// reference schedule.
+	Jobs int
 }
 
 // Quick returns the scale used by tests and benches.

@@ -320,7 +320,7 @@ func TestSparkline(t *testing.T) {
 }
 
 func TestFig9ScheduleShapes(t *testing.T) {
-	r := Fig9()
+	r := Fig9(Quick())
 	if len(r.Schedules) != 4 {
 		t.Fatalf("schedules = %d", len(r.Schedules))
 	}

@@ -61,6 +61,9 @@ func DAXStudy(scale Scale) DAXResult {
 	return res
 }
 
+// String renders the report-text block printed under the
+// "===== dax =====" header; the `dax` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r DAXResult) String() string {
 	t := &table{header: []string{"size", "block path", "DAX path", "speedup"}}
 	for i, s := range r.Sizes {
@@ -106,6 +109,7 @@ func PlacementStudy(scale Scale, model *perfmodel.Model) (PlacementResult, error
 			Model:            model,
 			FootprintDivisor: 1024,
 			NoHDDPlacement:   true,
+			Scope:            scale.Scope,
 		})
 		if err != nil {
 			return nil, 0, err
@@ -160,6 +164,9 @@ func PlacementStudy(scale Scale, model *perfmodel.Model) (PlacementResult, error
 	return res, nil
 }
 
+// String renders the report-text block printed under the
+// "===== placement =====" header; the `placement` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r PlacementResult) String() string {
 	t := &table{header: []string{"scheme", "NVDIMM placement rate", "choices"}}
 	t.add("BASIL (measured)", pct(r.BASILNVDIMMRate), fmt.Sprint(r.BASILChoices))

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mgmt"
+	"repro/internal/runpool"
 	"repro/internal/sim"
 )
 
@@ -32,6 +33,9 @@ type FaultMatrixRow struct {
 	Readmissions  uint64
 }
 
+// String renders the report-text block printed under the
+// "===== faults =====" header; the `faults` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r *FaultMatrixResult) String() string {
 	t := &table{header: []string{"scenario", "iops", "lat_us", "io_errs",
 		"injected", "retries", "aborts", "quar", "evac", "readmit"}}
@@ -52,7 +56,11 @@ func (r *FaultMatrixResult) String() string {
 
 // FaultMatrix runs the three-scenario robustness comparison. The degraded
 // window spans the middle of the run (10%..60% of RunTime) so the manager
-// observes healthy traffic, the failure burst, and the recovery.
+// observes healthy traffic, the failure burst, and the recovery. The
+// scenario arms are independent systems and fan out across the run pool;
+// scope children are forked per arm before launch and rows collect by arm
+// index, so the table and any telemetry artifact are byte-identical for
+// every Scale.Jobs setting.
 func FaultMatrix(scale Scale) (*FaultMatrixResult, error) {
 	winFrom := sim.Time(float64(scale.RunTime) * 0.10)
 	winTo := sim.Time(float64(scale.RunTime) * 0.60)
@@ -71,8 +79,9 @@ func FaultMatrix(scale Scale) (*FaultMatrixResult, error) {
 		{"lossy-link", 2, "link=0-1:drop=0.25,stall=500us"},
 	}
 
-	res := &FaultMatrixResult{}
-	for _, sc := range scenarios {
+	scopes := scale.Scope.Fork(len(scenarios))
+	rows, errs := runpool.Do(scale.Jobs, len(scenarios), func(i int) (FaultMatrixRow, error) {
+		sc := scenarios[i]
 		cfg := mgmtCfg()
 		cfg.MinWindowRequests = 2
 		cfg.QuarantineMinErrors = 3
@@ -84,12 +93,13 @@ func FaultMatrix(scale Scale) (*FaultMatrixResult, error) {
 			Seed:             31,
 			FootprintDivisor: scale.FootprintDivisor,
 			FaultSpec:        sc.spec,
+			Scope:            scopes[i],
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fault matrix %s: %w", sc.name, err)
+			return FaultMatrixRow{}, fmt.Errorf("fault matrix %s: %w", sc.name, err)
 		}
 		if err := sys.Run(scale.RunTime); err != nil {
-			return nil, fmt.Errorf("fault matrix %s: %w", sc.name, err)
+			return FaultMatrixRow{}, fmt.Errorf("fault matrix %s: %w", sc.name, err)
 		}
 		rep := sys.Report()
 		row := FaultMatrixRow{
@@ -110,7 +120,10 @@ func FaultMatrix(scale Scale) (*FaultMatrixResult, error) {
 			injected, outages, degraded, dropped, stalled := sys.Injector.Stats().Totals()
 			row.Injected = injected + outages + degraded + dropped + stalled
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err := runpool.FirstError(errs); err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &FaultMatrixResult{Rows: rows}, nil
 }

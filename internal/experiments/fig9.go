@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/memsched"
+	"repro/internal/runpool"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -61,8 +62,10 @@ func fig9Case() []struct {
 }
 
 // Fig9 executes the example under each policy with 100 µs writes and two
-// flash channels (the figure's FC1/FC2).
-func Fig9() Fig9Result {
+// flash channels (the figure's FC1/FC2). Each policy owns a private engine
+// and scheduler, so the four schedules fan out across the run pool and
+// collect by policy index.
+func Fig9(scale Scale) Fig9Result {
 	const opTime = 100 * sim.Microsecond
 	policies := []struct {
 		name string
@@ -73,8 +76,8 @@ func Fig9() Fig9Result {
 		{"Policy Two (Fig. 9c)", memsched.PolicyTwo()},
 		{"both + NPB (Fig. 10b)", memsched.Combined(150 * sim.Microsecond)},
 	}
-	var res Fig9Result
-	for _, pc := range policies {
+	scheds, _ := runpool.Do(scale.Jobs, len(policies), func(p int) (Fig9Schedule, error) {
+		pc := policies[p]
 		eng := sim.NewEngine()
 		s := memsched.New(eng, pc.pol, 2) // two channels
 		sched := Fig9Schedule{Policy: pc.name}
@@ -98,9 +101,9 @@ func Fig9() Fig9Result {
 		}
 		eng.Run()
 		sched.Makespan = eng.Now()
-		res.Schedules = append(res.Schedules, sched)
-	}
-	return res
+		return sched, nil
+	})
+	return Fig9Result{Schedules: scheds}
 }
 
 // Makespan returns the named policy's total schedule length (0 if the
@@ -114,6 +117,9 @@ func (r Fig9Result) Makespan(policyPrefix string) sim.Time {
 	return 0
 }
 
+// String renders the report-text block printed under the
+// "===== fig9 =====" header; the `fig9` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r Fig9Result) String() string {
 	var b strings.Builder
 	b.WriteString("Fig. 9/10: the RA..RH example schedule (100us writes, 2 channels)\n")

@@ -131,6 +131,9 @@ func Fig14(scale Scale) Fig14Result {
 	return res
 }
 
+// String renders the report-text block printed under the
+// "===== fig14 =====" header; the `fig14` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r Fig14Result) String() string {
 	t := &table{header: []string{"app", "baseline IOPS", "P1 speedup", "P2 speedup", "both"}}
 	for _, row := range r.Rows {
@@ -216,6 +219,9 @@ func (r Fig15Result) FinalBypass() float64 {
 	return r.WithBypass[len(r.WithBypass)-1]
 }
 
+// String renders the report-text block printed under the
+// "===== fig15 =====" header; the `fig15` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r Fig15Result) String() string {
 	t := &table{header: []string{"requests", "hit ratio (LRFU)", "hit ratio (bypass)"}}
 	for i := range r.WithLRFU {
@@ -259,6 +265,9 @@ func Fig16(scale Scale) Fig16Result {
 	return res
 }
 
+// String renders the report-text block printed under the
+// "===== fig16 =====" header; the `fig16` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r Fig16Result) String() string {
 	t := &table{header: []string{"app", "baseline IOPS", "speedup (sched+bypass)"}}
 	for _, row := range r.Rows {
@@ -314,6 +323,7 @@ func Fig17(scale Scale, model *perfmodel.Model) (Fig17Result, error) {
 			BypassMigratedReads: s.bypass,
 			FootprintDivisor:    scale.FootprintDivisor,
 			NoHDDPlacement:      true,
+			Scope:               scale.Scope,
 		})
 		if err != nil {
 			return res, err
@@ -369,6 +379,9 @@ func Fig17(scale Scale, model *perfmodel.Model) (Fig17Result, error) {
 	return res, nil
 }
 
+// String renders the report-text block printed under the
+// "===== fig17 =====" header; the `fig17` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r Fig17Result) String() string {
 	t := &table{header: []string{"scheme", "mean IOPS", "mean latency", "speedup vs BASIL"}}
 	for _, row := range r.Rows {

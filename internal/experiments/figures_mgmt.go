@@ -73,6 +73,7 @@ func Fig12(scale Scale, model *perfmodel.Model) (Fig12Result, error) {
 				Model:            model,
 				FootprintDivisor: scale.FootprintDivisor,
 				NoHDDPlacement:   true,
+				Scope:            scale.Scope,
 			})
 			if err != nil {
 				return res, err
@@ -97,6 +98,9 @@ func Fig12(scale Scale, model *perfmodel.Model) (Fig12Result, error) {
 	return res, nil
 }
 
+// String renders the report-text block printed under the
+// "===== fig12 =====" header; the `fig12` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r Fig12Result) String() string {
 	out := "Fig. 12: device performance under BCA vs baselines\n"
 	for _, mr := range r.Mixes {
@@ -154,6 +158,7 @@ func Fig13(scale Scale, model *perfmodel.Model) (Fig13Result, error) {
 				Model:            model,
 				FootprintDivisor: scale.FootprintDivisor,
 				NoHDDPlacement:   true,
+				Scope:            scale.Scope,
 			})
 			if err != nil {
 				return res, err
@@ -178,6 +183,9 @@ func Fig13(scale Scale, model *perfmodel.Model) (Fig13Result, error) {
 	return res, nil
 }
 
+// String renders the report-text block printed under the
+// "===== fig13 =====" header; the `fig13` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r Fig13Result) String() string {
 	t := &table{header: []string{"nodes", "scheme", "migration time", "normalized", "copied", "mirrored"}}
 	for _, row := range r.Rows {
@@ -220,6 +228,7 @@ func TauSweep(scale Scale, model *perfmodel.Model) (TauSweepResult, error) {
 			Model:            model,
 			FootprintDivisor: scale.FootprintDivisor,
 			NoHDDPlacement:   true,
+			Scope:            scale.Scope,
 		})
 		if err != nil {
 			return res, err
@@ -236,6 +245,9 @@ func TauSweep(scale Scale, model *perfmodel.Model) (TauSweepResult, error) {
 	return res, nil
 }
 
+// String renders the report-text block printed under the
+// "===== tau =====" header; the `tau` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r TauSweepResult) String() string {
 	t := &table{header: []string{"tau", "migrations", "migration time", "mean latency"}}
 	for _, row := range r.Rows {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mlmodel"
 	"repro/internal/nvdimm"
 	"repro/internal/perfmodel"
+	"repro/internal/runpool"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/stats"
@@ -72,6 +73,9 @@ func Fig4(scale Scale) (Fig4Result, error) {
 	return res, nil
 }
 
+// String renders the report-text block printed under the
+// "===== fig4 =====" header; the `fig4` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r Fig4Result) String() string {
 	t := &table{header: []string{"window", "NVDIMM latency (norm)", "mem intensity (norm)"}}
 	ln := stats.Normalize(r.LatencyUS)
@@ -98,7 +102,10 @@ type Fig5Result struct {
 	NVDIMMByMem []float64
 }
 
-// Fig5 sweeps each device.
+// Fig5 sweeps each device. Every point is an independent engine, so all
+// four sweeps flatten into one job list and fan out across the run pool;
+// results land at fixed indices, keeping the tables identical for any
+// Scale.Jobs.
 func Fig5(scale Scale) Fig5Result {
 	res := Fig5Result{
 		OIOs:       []int{1, 2, 4, 8, 16, 32, 64},
@@ -114,23 +121,17 @@ func Fig5(scale Scale) Fig5Result {
 			IOSize: 4096, OIO: oio, Footprint: 128 << 20,
 		}, scale.SweepWindow)
 	}
-	for _, q := range res.OIOs {
-		res.SSDByOIO = append(res.SSDByOIO, ssdRun(q, 0.5))
-	}
-	for _, rnd := range res.Randomness {
-		res.SSDByRand = append(res.SSDByRand, ssdRun(8, rnd))
-	}
 	// (c): HDD randomness sweep.
-	for _, rnd := range res.Randomness {
+	hddRun := func(rnd float64) float64 {
 		eng := sim.NewEngine()
 		dev := hdd.New(eng, core.ScaledHDDConfig("hdd", 5))
-		res.HDDByRand = append(res.HDDByRand, measureMean(eng, dev, workload.Profile{
+		return measureMean(eng, dev, workload.Profile{
 			Name: "sweep", WriteRatio: 0, ReadRand: rnd,
 			IOSize: 64 << 10, OIO: 2, Footprint: 2 << 30,
-		}, 8*scale.SweepWindow))
+		}, 8*scale.SweepWindow)
 	}
 	// (d): NVDIMM latency vs memory intensity on the shared channel.
-	for _, ms := range res.MemScales {
+	nvRun := func(ms float64) float64 {
 		eng := sim.NewEngine()
 		ch := bus.NewChannel(eng, 0)
 		dev := nvdimm.New(eng, ch, core.ScaledNVDIMMConfig("nv"))
@@ -142,11 +143,38 @@ func Fig5(scale Scale) Fig5Result {
 			g.Aggregation = 64
 			g.Start()
 		}
-		res.NVDIMMByMem = append(res.NVDIMMByMem, measureMean(eng, dev, workload.Profile{
+		return measureMean(eng, dev, workload.Profile{
 			Name: "sweep", WriteRatio: 0.3, ReadRand: 0.5, WriteRand: 0.5,
 			IOSize: 4096, OIO: 8, Footprint: 1 << 20, // cache-resident: bus-bound
-		}, scale.SweepWindow))
+		}, scale.SweepWindow)
 	}
+
+	var points []func() float64
+	for _, q := range res.OIOs {
+		q := q
+		points = append(points, func() float64 { return ssdRun(q, 0.5) })
+	}
+	for _, rnd := range res.Randomness {
+		rnd := rnd
+		points = append(points, func() float64 { return ssdRun(8, rnd) })
+	}
+	for _, rnd := range res.Randomness {
+		rnd := rnd
+		points = append(points, func() float64 { return hddRun(rnd) })
+	}
+	for _, ms := range res.MemScales {
+		ms := ms
+		points = append(points, func() float64 { return nvRun(ms) })
+	}
+	vals, _ := runpool.Floats(scale.Jobs, len(points), func(i int) float64 {
+		return points[i]()
+	})
+	res.SSDByOIO = vals[:len(res.OIOs)]
+	vals = vals[len(res.OIOs):]
+	res.SSDByRand = vals[:len(res.Randomness)]
+	vals = vals[len(res.Randomness):]
+	res.HDDByRand = vals[:len(res.Randomness)]
+	res.NVDIMMByMem = vals[len(res.Randomness):]
 	return res
 }
 
@@ -165,6 +193,9 @@ func measureMean(eng *sim.Engine, dev device.Device, p workload.Profile, window 
 	return mp
 }
 
+// String renders the report-text block printed under the
+// "===== fig5 =====" header; the `fig5` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r Fig5Result) String() string {
 	var out string
 	t := &table{header: []string{"OIOs", "SSD latency"}}
@@ -282,6 +313,9 @@ func Fig7(freeSpace float64, scale Scale) (Fig7Result, error) {
 	return res, nil
 }
 
+// String renders the report-text block printed under the
+// "===== fig7 =====" header; the `fig7` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r Fig7Result) String() string {
 	t := &table{header: []string{"window", "measured(mixed)", "predicted", "measured(quiet)"}}
 	for i := range r.MeasuredUS {

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+	"repro/internal/runpool"
+)
+
+// matrixCell is one named experiment of the canonical matrix: the unit of
+// fan-out for `experiments -exp all -jobs N`. The run closure receives a
+// Scale whose Scope field has already been swapped for this cell's private
+// scope child, so everything it builds lands in the cell's own telemetry
+// partition.
+type matrixCell struct {
+	name string
+	run  func(scale Scale, src *modelSource) (string, error)
+}
+
+// modelSource hands the shared NVDIMM performance model to whichever cell
+// asks first; training happens at most once (sync.Once) and the result —
+// deterministic in the seed — is reused by every other cell. The trained
+// model is read-only at predict time, so sharing it across parallel jobs
+// is safe (see DESIGN.md §9).
+type modelSource struct {
+	seed    uint64
+	onTrain func()
+	once    sync.Once
+	model   *perfmodel.Model
+	err     error
+}
+
+func (s *modelSource) get() (*perfmodel.Model, error) {
+	s.once.Do(func() {
+		if s.model != nil {
+			return
+		}
+		if s.onTrain != nil {
+			s.onTrain()
+		}
+		s.model, s.err = core.TrainScaledNVDIMMModel(s.seed)
+	})
+	return s.model, s.err
+}
+
+// render collapses the (Stringer, error) shape shared by most cells.
+func render(s fmt.Stringer, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return s.String(), nil
+}
+
+// matrixCells returns the registry in canonical report order. The order
+// is load-bearing twice over: it is the order `-exp all` prints cells in,
+// and it is the order RunMatrix forks telemetry scope children in, which
+// fixes the sys<k> numbering of the merged artifacts (see
+// core.TelemetryScope).
+func matrixCells() []matrixCell {
+	return []matrixCell{
+		{"table1", func(Scale, *modelSource) (string, error) { return Table1().String(), nil }},
+		{"table2", func(sc Scale, _ *modelSource) (string, error) { r, err := Table2(sc); return render(r, err) }},
+		{"table3", func(Scale, *modelSource) (string, error) { r, err := Table3(); return render(r, err) }},
+		{"table4", func(Scale, *modelSource) (string, error) { return Table4(), nil }},
+		{"table5", func(Scale, *modelSource) (string, error) { return Table5(), nil }},
+		{"fig4", func(sc Scale, _ *modelSource) (string, error) { r, err := Fig4(sc); return render(r, err) }},
+		{"fig5", func(sc Scale, _ *modelSource) (string, error) { return Fig5(sc).String(), nil }},
+		{"fig9", func(sc Scale, _ *modelSource) (string, error) { return Fig9(sc).String(), nil }},
+		{"fig7", func(sc Scale, _ *modelSource) (string, error) {
+			a, err := Fig7(1.0, sc)
+			if err != nil {
+				return "", err
+			}
+			b, err := Fig7(0.1, sc)
+			if err != nil {
+				return "", err
+			}
+			return a.String() + "\n" + b.String(), nil
+		}},
+		{"fig12", func(sc Scale, src *modelSource) (string, error) {
+			m, err := src.get()
+			if err != nil {
+				return "", err
+			}
+			r, err := Fig12(sc, m)
+			return render(r, err)
+		}},
+		{"fig13", func(sc Scale, src *modelSource) (string, error) {
+			m, err := src.get()
+			if err != nil {
+				return "", err
+			}
+			r, err := Fig13(sc, m)
+			return render(r, err)
+		}},
+		{"fig14", func(sc Scale, _ *modelSource) (string, error) { return Fig14(sc).String(), nil }},
+		{"fig15", func(sc Scale, _ *modelSource) (string, error) { return Fig15(sc).String(), nil }},
+		{"fig16", func(sc Scale, _ *modelSource) (string, error) { return Fig16(sc).String(), nil }},
+		{"fig17", func(sc Scale, src *modelSource) (string, error) {
+			m, err := src.get()
+			if err != nil {
+				return "", err
+			}
+			r, err := Fig17(sc, m)
+			return render(r, err)
+		}},
+		{"tau", func(sc Scale, src *modelSource) (string, error) {
+			m, err := src.get()
+			if err != nil {
+				return "", err
+			}
+			r, err := TauSweep(sc, m)
+			return render(r, err)
+		}},
+		{"placement", func(sc Scale, src *modelSource) (string, error) {
+			m, err := src.get()
+			if err != nil {
+				return "", err
+			}
+			r, err := PlacementStudy(sc, m)
+			return render(r, err)
+		}},
+		{"dax", func(sc Scale, _ *modelSource) (string, error) { return DAXStudy(sc).String(), nil }},
+		{"faults", func(sc Scale, _ *modelSource) (string, error) { r, err := FaultMatrix(sc); return render(r, err) }},
+		{"ablations", func(sc Scale, src *modelSource) (string, error) {
+			ma, err := ModelAblation(sc, src.seed)
+			if err != nil {
+				return "", err
+			}
+			la := LambdaAblation(sc)
+			na := NPBAblation()
+			m, err := src.get()
+			if err != nil {
+				return "", err
+			}
+			mi, err := MirroringAblation(sc, m)
+			if err != nil {
+				return "", err
+			}
+			return ma.String() + "\n" + la.String() + "\n" + na.String() + "\n" + mi.String(), nil
+		}},
+	}
+}
+
+// MatrixNames lists the canonical experiment cells in report order —
+// exactly the values `experiments -exp` accepts (besides "all").
+func MatrixNames() []string {
+	cells := matrixCells()
+	names := make([]string, len(cells))
+	for i, c := range cells {
+		names[i] = c.name
+	}
+	return names
+}
+
+// MatrixOptions configures RunMatrix.
+type MatrixOptions struct {
+	// Names selects cells by MatrixNames value, in the given order;
+	// empty means the full matrix in canonical order.
+	Names []string
+	// Scale is handed to every cell. Scale.Scope (if any) is the parent
+	// scope: RunMatrix forks one child per selected cell, in selection
+	// order, before any job starts. Scale.Jobs bounds the cell-level
+	// fan-out and is inherited by the intra-cell sweeps.
+	Scale Scale
+	// Seed seeds model training for cells that need the shared NVDIMM
+	// performance model.
+	Seed uint64
+	// Model, when non-nil, is used instead of training (tests and
+	// benchmarks inject a pretrained model to skip the training pass).
+	Model *perfmodel.Model
+	// OnModelTrain, when non-nil, is invoked once right before the shared
+	// model is trained (progress reporting).
+	OnModelTrain func()
+}
+
+// MatrixResult is one cell's outcome.
+type MatrixResult struct {
+	Name string
+	Text string // the cell's report text, empty on error
+	Err  error  // cell failure, including recovered panics (*runpool.PanicError)
+	// Elapsed is wall-clock run time of the cell. Under -jobs N cells
+	// overlap, so elapsed times sum to more than the wall time of the
+	// whole matrix; report it on stderr only, never in the report text.
+	Elapsed time.Duration
+}
+
+// RunMatrix fans the selected cells out across the run pool and collects
+// results in selection order, never completion order. With identical
+// options, the returned Name/Text/Err fields are byte-for-byte identical
+// for every Scale.Jobs value; only Elapsed varies. A panicking cell is
+// reported as that cell's Err and does not disturb its siblings. The only
+// error returned directly is an unknown name in opts.Names.
+func RunMatrix(opts MatrixOptions) ([]MatrixResult, error) {
+	cells := matrixCells()
+	selected := cells
+	if len(opts.Names) > 0 {
+		byName := make(map[string]matrixCell, len(cells))
+		for _, c := range cells {
+			byName[c.name] = c
+		}
+		selected = selected[:0:0]
+		for _, n := range opts.Names {
+			c, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("unknown experiment %q (want one of %v)", n, MatrixNames())
+			}
+			selected = append(selected, c)
+		}
+	}
+	src := &modelSource{seed: opts.Seed, onTrain: opts.OnModelTrain, model: opts.Model}
+	scopes := opts.Scale.Scope.Fork(len(selected))
+	results, errs := runpool.Do(opts.Scale.Jobs, len(selected), func(i int) (MatrixResult, error) {
+		sc := opts.Scale
+		sc.Scope = scopes[i]
+		start := time.Now()
+		text, err := selected[i].run(sc, src)
+		return MatrixResult{
+			Name:    selected[i].name,
+			Text:    text,
+			Err:     err,
+			Elapsed: time.Since(start),
+		}, nil
+	})
+	for i, err := range errs {
+		if err != nil { // recovered panic: fill in the cell identity
+			results[i] = MatrixResult{Name: selected[i].name, Err: err}
+		}
+	}
+	return results, nil
+}

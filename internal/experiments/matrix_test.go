@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestMatrixParallelDeterminism is the harness's core guarantee: the same
+// cell selection produces byte-identical report text, merged trace, and
+// merged metrics CSV whether the cells run sequentially (Jobs=1, the
+// reference schedule) or sharded across four workers. The selection mixes
+// the three intra-cell fan-out shapes (fig5 sweep points, fig9 policy
+// schedules, faults scenario systems) plus a static cell; the full
+// `-exp all` matrix is covered by the CI quick-matrix run.
+func TestMatrixParallelDeterminism(t *testing.T) {
+	names := []string{"table4", "fig5", "fig9", "faults"}
+	run := func(jobs int) (report, trace, csv string) {
+		scope := core.NewTelemetryScope(true, true, 5*sim.Millisecond)
+		sc := Quick()
+		sc.Scope = scope
+		sc.Jobs = jobs
+		res, err := RunMatrix(MatrixOptions{Names: names, Scale: sc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text strings.Builder
+		for _, r := range res {
+			if r.Err != nil {
+				t.Fatalf("jobs=%d %s: %v", jobs, r.Name, r.Err)
+			}
+			fmt.Fprintf(&text, "===== %s =====\n%s\n", r.Name, r.Text)
+		}
+		tel := scope.Merge()
+		var tb, cb bytes.Buffer
+		if err := tel.Tracer.WriteChromeTrace(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := tel.Series.WriteCSV(&cb); err != nil {
+			t.Fatal(err)
+		}
+		return text.String(), tb.String(), cb.String()
+	}
+
+	rep1, tr1, csv1 := run(1)
+	rep4, tr4, csv4 := run(4)
+	if rep1 != rep4 {
+		t.Errorf("report text differs between jobs=1 and jobs=4:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s",
+			firstDiffContext(rep1, rep4), firstDiffContext(rep4, rep1))
+	}
+	if tr1 != tr4 {
+		t.Errorf("merged trace differs between jobs=1 and jobs=4 (lens %d vs %d)", len(tr1), len(tr4))
+	}
+	if csv1 != csv4 {
+		t.Errorf("merged metrics CSV differs between jobs=1 and jobs=4:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s",
+			firstDiffContext(csv1, csv4), firstDiffContext(csv4, csv1))
+	}
+	if !strings.Contains(csv1, "sys0.") {
+		t.Errorf("merged CSV lacks sys0. namespacing:\n%.400s", csv1)
+	}
+}
+
+// TestMatrixUnknownName rejects bad -exp values up front.
+func TestMatrixUnknownName(t *testing.T) {
+	_, err := RunMatrix(MatrixOptions{Names: []string{"fig99"}, Scale: Quick()})
+	if err == nil || !strings.Contains(err.Error(), "fig99") {
+		t.Fatalf("want unknown-name error naming fig99, got %v", err)
+	}
+}
+
+// TestMatrixNamesCanonical pins the registry to the documented cell list.
+func TestMatrixNamesCanonical(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "table4", "table5",
+		"fig4", "fig5", "fig9", "fig7", "fig12", "fig13", "fig14", "fig15",
+		"fig16", "fig17", "tau", "placement", "dax", "faults", "ablations"}
+	got := MatrixNames()
+	if len(got) != len(want) {
+		t.Fatalf("MatrixNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MatrixNames()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// firstDiffContext returns a short window of a around its first
+// divergence from b, for readable failure output.
+func firstDiffContext(a, b string) string {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 120
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 200
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return fmt.Sprintf("(diverges at byte %d) …%s…", i, a[lo:hi])
+}

@@ -39,6 +39,9 @@ func Table1() Table1Result {
 	}}
 }
 
+// String renders the report-text block printed under the
+// "===== table1 =====" header; the `table1` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r Table1Result) String() string {
 	t := &table{header: []string{"Attributes", "NVDIMM", "PCIe SSD", "SATA HDD"}}
 	for _, row := range r.Rows {
@@ -116,6 +119,7 @@ func migrationVolume(sch mgmt.Scheme, nodes int, mem string, scale Scale) (int64
 		Seed:             31,
 		FootprintDivisor: scale.FootprintDivisor,
 		NoHDDPlacement:   true,
+		Scope:            scale.Scope,
 	})
 	if err != nil {
 		return 0, err
@@ -124,6 +128,9 @@ func migrationVolume(sch mgmt.Scheme, nodes int, mem string, scale Scale) (int64
 	return sys.Manager.Stats().BytesCopied, nil
 }
 
+// String renders the report-text block printed under the
+// "===== table2 =====" header; the `table2` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r Table2Result) String() string {
 	t := &table{header: []string{"Environment", "Scheme", "Overhead", "copied(with)", "copied(without)"}}
 	for _, row := range r.Rows {
@@ -172,6 +179,9 @@ func Table3() (Table3Result, error) {
 	return Table3Result{Samples: ds, Tree: tree, RootName: root}, nil
 }
 
+// String renders the report-text block printed under the
+// "===== table3 =====" header; the `table3` row of EXPERIMENTS.md
+// gives the exact command and a sample of this output.
 func (r Table3Result) String() string {
 	t := &table{header: []string{"wr_ratio", "IOS", "free_space_ratio", "Latency"}}
 	for _, s := range r.Samples.Samples {

@@ -1,0 +1,140 @@
+// Package runpool shards independent simulation jobs — experiment matrix
+// cells, multi-seed replicas, fault-matrix arms, sweep points — across a
+// bounded set of worker goroutines while preserving the repository's
+// determinism contract (DESIGN.md §9).
+//
+// The pool guarantees, in order of importance:
+//
+//  1. Deterministic result ordering. Results are collected by job index,
+//     never by completion order: Do(workers, n, fn) returns slices where
+//     position i holds exactly what fn(i) produced, regardless of how the
+//     scheduler interleaved the workers. A caller that prints or merges
+//     results in index order therefore emits byte-identical output for any
+//     worker count, including workers == 1.
+//  2. Panic containment. A panicking job is converted into a *PanicError
+//     at its index instead of killing the process, so one crashed cell
+//     cannot take down the other n−1 (the stack is preserved for the
+//     report). Workers keep draining the queue after a panic.
+//  3. Bounded concurrency. At most min(workers, n) goroutines run jobs;
+//     workers <= 0 selects min(GOMAXPROCS, n). Jobs are handed out from a
+//     single atomic counter, so an expensive cell never blocks the queue
+//     behind it.
+//
+// What the pool does NOT do is synchronize the jobs' internals. Jobs must
+// be independent: each job owns its sim.Engine, its sim.RNG tree, and —
+// because internal/telemetry is unsynchronized by design (see that
+// package's doc) — its own telemetry Registry/Tracer/Series, obtained by
+// forking a core.TelemetryScope per job *before* the pool starts and
+// merged in index order only *after* Do returns. Sharing any of those
+// across concurrently running jobs is a data race; sharing read-only state
+// (a trained perfmodel.Model, Scale values, scheme descriptors) is fine.
+package runpool
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError reports a job that panicked instead of returning. It is
+// surfaced in the error slot of the job's index so sibling jobs complete
+// normally and the caller decides whether the run survives.
+type PanicError struct {
+	// Index is the job number that panicked.
+	Index int
+	// Value is the value passed to panic.
+	Value interface{}
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runpool: job %d panicked: %v", e.Index, e.Value)
+}
+
+// Workers resolves a requested worker count against a job count: non-
+// positive requests select min(GOMAXPROCS, n), and the result is always
+// clamped to [1, n] (n == 0 yields 0).
+func Workers(requested, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Do runs fn(0) … fn(n−1) on at most Workers(workers, n) goroutines and
+// returns the results and errors indexed by job number. A job that
+// panics contributes a *PanicError at its index; every other job still
+// runs to completion. With workers == 1 the jobs execute sequentially in
+// index order on a single goroutine, which is the reference schedule all
+// other worker counts must be byte-equivalent to.
+func Do[T any](workers, n int, fn func(i int) (T, error)) ([]T, []error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	w := Workers(workers, n)
+	if w == 0 {
+		return results, errs
+	}
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = &PanicError{Index: i, Value: r, Stack: string(debug.Stack())}
+			}
+		}()
+		results[i], errs[i] = fn(i)
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return results, errs
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// Floats runs n float64-valued jobs that cannot fail (sweep points) and
+// returns the values by index. A panicking point is reported as an error
+// at its index like in Do.
+func Floats(workers, n int, fn func(i int) float64) ([]float64, []error) {
+	return Do(workers, n, func(i int) (float64, error) { return fn(i), nil })
+}
+
+// FirstError returns the lowest-index non-nil error, or nil. Index order
+// — not completion order — keeps the reported failure deterministic.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

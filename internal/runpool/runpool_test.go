@@ -1,0 +1,113 @@
+package runpool
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoOrdering asserts results land at their job index for every worker
+// count, so index-ordered consumption is schedule-independent.
+func TestDoOrdering(t *testing.T) {
+	const n = 64
+	for _, workers := range []int{1, 2, 4, 16, 0} {
+		res, errs := Do(workers, n, func(i int) (int, error) { return i * i, nil })
+		if len(res) != n || len(errs) != n {
+			t.Fatalf("workers=%d: got %d results, %d errors", workers, len(res), len(errs))
+		}
+		for i, v := range res {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+			if errs[i] != nil {
+				t.Fatalf("workers=%d: unexpected error at %d: %v", workers, i, errs[i])
+			}
+		}
+	}
+}
+
+// TestDoPanicRecovery injects a panicking job and asserts every other job
+// still completes, with the crash surfaced as a *PanicError at the right
+// index — the fault-containment rule of the experiment harness.
+func TestDoPanicRecovery(t *testing.T) {
+	const n, bad = 16, 7
+	var completed int64
+	res, errs := Do(4, n, func(i int) (string, error) {
+		if i == bad {
+			panic(fmt.Sprintf("cell %d exploded", i))
+		}
+		atomic.AddInt64(&completed, 1)
+		return fmt.Sprintf("cell%d", i), nil
+	})
+	if completed != n-1 {
+		t.Fatalf("completed = %d, want %d (panic must not kill siblings)", completed, n-1)
+	}
+	for i := 0; i < n; i++ {
+		if i == bad {
+			continue
+		}
+		if errs[i] != nil || res[i] != fmt.Sprintf("cell%d", i) {
+			t.Fatalf("job %d: res=%q err=%v", i, res[i], errs[i])
+		}
+	}
+	var pe *PanicError
+	if !errors.As(errs[bad], &pe) {
+		t.Fatalf("errs[%d] = %v, want *PanicError", bad, errs[bad])
+	}
+	if pe.Index != bad || !strings.Contains(pe.Error(), "cell 7 exploded") {
+		t.Fatalf("panic error = %+v", pe)
+	}
+	if pe.Stack == "" {
+		t.Fatal("panic error lost the stack trace")
+	}
+	if got := FirstError(errs); got != errs[bad] {
+		t.Fatalf("FirstError = %v, want the panic at index %d", got, bad)
+	}
+}
+
+// TestDoSequentialIsReference asserts workers=1 runs jobs in strict index
+// order on one goroutine (the byte-identity reference schedule).
+func TestDoSequentialIsReference(t *testing.T) {
+	var order []int
+	Do(1, 8, func(i int) (struct{}, error) {
+		order = append(order, i) // safe: single worker
+		return struct{}{}, nil
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order = %v", order)
+		}
+	}
+}
+
+// TestWorkersClamp covers the min(GOMAXPROCS, jobs) sizing rule.
+func TestWorkersClamp(t *testing.T) {
+	cases := []struct{ req, n, min, max int }{
+		{0, 0, 0, 0},   // no jobs
+		{8, 3, 3, 3},   // clamped to job count
+		{1, 100, 1, 1}, // explicit sequential
+		{0, 100, 1, 100},
+		{-5, 4, 1, 4},
+	}
+	for _, c := range cases {
+		got := Workers(c.req, c.n)
+		if got < c.min || got > c.max {
+			t.Fatalf("Workers(%d, %d) = %d, want in [%d, %d]", c.req, c.n, got, c.min, c.max)
+		}
+	}
+}
+
+// TestFloats covers the sweep-point helper.
+func TestFloats(t *testing.T) {
+	vals, errs := Floats(0, 5, func(i int) float64 { return float64(i) / 2 })
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != float64(i)/2 {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+}

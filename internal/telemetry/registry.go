@@ -15,6 +15,27 @@
 //  3. Cheap when enabled. Gauges are read-callbacks over counters the
 //     subsystems already maintain — registration adds no work to hot
 //     paths; cost is paid only when a sample is taken.
+//
+// # Unsynchronized by design
+//
+// Nothing in this package takes a lock: Registry, Tracer, Sampler, and
+// Series are all single-owner types, mutated only from the goroutine
+// driving their system's sim.Engine. Adding mutexes would tax the hot
+// path of every run to pay for parallelism most runs don't use, so
+// concurrency is handled by ownership instead:
+//
+//   - one Registry/Tracer/Series per System, owned exclusively by the
+//     goroutine running that system (internal/runpool hands exactly one
+//     system's job to one worker at a time);
+//   - merging happens only after the owning Run returns, on the
+//     coordinating goroutine, via Tracer.MergePrefixed and
+//     Series.MergePrefixed in job-index order (core.TelemetryScope walks
+//     its fork tree to assign the stable "sys<k>." prefixes).
+//
+// Sharing any of these types across concurrently running systems is a
+// data race, caught by the -race CI run of the parallel experiment
+// matrix. See internal/runpool's package doc for the pool side of this
+// contract and DESIGN.md §9 for the full determinism argument.
 package telemetry
 
 import (

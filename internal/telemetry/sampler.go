@@ -15,9 +15,10 @@ type Row struct {
 	Points []Point
 }
 
-// Series accumulates sampler rows. Multiple samplers (e.g. one per
-// experiment system) may share a Series; rows append in completion order,
-// which is deterministic because experiments run sequentially.
+// Series accumulates sampler rows. Samplers of systems running on the
+// same goroutine may share a Series (rows then append in run order);
+// systems running in parallel must each own a private Series, merged
+// afterwards with MergePrefixed (the runpool ownership rule).
 type Series struct {
 	rows []Row
 }
@@ -30,6 +31,24 @@ func (s *Series) Rows() []Row { return s.rows }
 
 // Len returns the row count.
 func (s *Series) Len() int { return len(s.rows) }
+
+// MergePrefixed appends every row of other to s, prepending prefix to
+// each point name. Like Tracer.MergePrefixed it is the post-run merge
+// step of the parallel-harness ownership rule: donors are complete and
+// read-only, and callers merge in job-index order so the resulting CSV
+// is byte-identical for any worker count. No-op when either side is nil.
+func (s *Series) MergePrefixed(other *Series, prefix string) {
+	if s == nil || other == nil {
+		return
+	}
+	for _, r := range other.rows {
+		pts := make([]Point, len(r.Points))
+		for i, p := range r.Points {
+			pts[i] = Point{Name: prefix + p.Name, Value: p.Value}
+		}
+		s.rows = append(s.rows, Row{At: r.At, Points: pts})
+	}
+}
 
 // WriteCSV renders the series with a time_ms column plus one column per
 // metric name (the sorted union across all rows). Cells for metrics absent

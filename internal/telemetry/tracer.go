@@ -114,6 +114,23 @@ func (t *Tracer) Instant(track, name, cat string, at sim.Time, args ...Arg) {
 	t.events = append(t.events, Event{Track: track, Name: name, Cat: cat, Ph: 'i', TS: at, Args: args})
 }
 
+// MergePrefixed appends every event of other to t, prepending prefix to
+// each track name. Tracks are interned in merged order, so merging donor
+// tracers in a fixed order (job index, never completion order — see
+// internal/runpool) yields byte-identical exports run over run. The donor
+// is read-only here and must no longer be receiving events; t and other
+// may not be the same tracer. No-op when either side is nil.
+func (t *Tracer) MergePrefixed(other *Tracer, prefix string) {
+	if t == nil || other == nil {
+		return
+	}
+	for _, e := range other.events {
+		e.Track = prefix + e.Track
+		t.tid(e.Track)
+		t.events = append(t.events, e)
+	}
+}
+
 // usString renders a sim.Time as microseconds with nanosecond precision,
 // using integer math so output is byte-deterministic.
 func usString(tm sim.Time) string {
