@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"repro"
 )
@@ -34,8 +35,13 @@ func main() {
 	rep := sys.Report()
 	fmt.Printf("\nscheme: %s\n", rep.Scheme)
 	fmt.Println("device mean latencies:")
-	for name, us := range rep.DeviceMeanUS {
-		fmt.Printf("  %-16s %9.1f us (normalized %.3f)\n", name, us, rep.NormalizedLatency[name])
+	names := make([]string, 0, len(rep.DeviceMeanUS))
+	for name := range rep.DeviceMeanUS {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-16s %9.1f us (normalized %.3f)\n", name, rep.DeviceMeanUS[name], rep.NormalizedLatency[name])
 	}
 	fmt.Printf("mean workload throughput: %.0f IOPS\n", rep.MeanIOPS)
 	fmt.Printf("bus contention absorbed by NVDIMM requests: %.1f ms\n", rep.NVDIMMContentionUS/1000)
