@@ -1,0 +1,47 @@
+// Lint gate: these tests run the determinism-contract linter
+// (internal/lint, DESIGN.md §10) over the whole module, so `go test .`
+// fails on the same findings `go run ./cmd/hsmlint ./...` would report
+// in CI. They replace the old standalone doc-lint tests: the docs rules
+// now have exactly one implementation, in internal/lint.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// lintModule runs the selected checks over every package of the module.
+func lintModule(t *testing.T, checks []string) []lint.Finding {
+	t.Helper()
+	m, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := m.Dirs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Run(".", dirs, checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// TestDocLint is the thin successor of the original doc-lint tests: it
+// invokes only the docs check (package doc comments everywhere;
+// exported-symbol docs in the contract-critical packages).
+func TestDocLint(t *testing.T) {
+	for _, f := range lintModule(t, []string{"docs"}) {
+		t.Error(f)
+	}
+}
+
+// TestLintClean holds the repository to the full determinism contract:
+// every check of the suite, zero findings, matching the CI lint job.
+func TestLintClean(t *testing.T) {
+	for _, f := range lintModule(t, nil) {
+		t.Error(f)
+	}
+}

@@ -216,12 +216,14 @@ func RunMatrix(opts MatrixOptions) ([]MatrixResult, error) {
 	results, errs := runpool.Do(opts.Scale.Jobs, len(selected), func(i int) (MatrixResult, error) {
 		sc := opts.Scale
 		sc.Scope = scopes[i]
+		//lint:ignore walltime cell timing is intentionally wall-clock; it prints to stderr/BENCH_parallel.json only, outside the determinism contract (DESIGN.md §9 "virtual time only")
 		start := time.Now()
 		text, err := selected[i].run(sc, src)
 		return MatrixResult{
-			Name:    selected[i].name,
-			Text:    text,
-			Err:     err,
+			Name: selected[i].name,
+			Text: text,
+			Err:  err,
+			//lint:ignore walltime Elapsed is the stderr/bench-only wall-clock duration; it never reaches report text or merged artifacts (DESIGN.md §9 "virtual time only")
 			Elapsed: time.Since(start),
 		}, nil
 	})

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// ignorePrefix is the comment marker that starts a suppression directive.
+// The grammar, deliberately tiny so it can be fuzzed end to end, is
+//
+//	//lint:ignore <check>[,<check>...] <reason>
+//
+// with a non-empty reason mandatory: a suppression with no recorded
+// justification is itself a contract violation.
+const ignorePrefix = "//lint:ignore"
+
+// Directive is one parsed //lint:ignore comment. A malformed directive
+// carries its problem in Err and suppresses nothing.
+type Directive struct {
+	// File and Line locate the directive (module-root-relative).
+	File string
+	Line int
+	// Checks are the check names the directive suppresses (valid only).
+	Checks []string
+	// Reason is the mandatory free-text justification.
+	Reason string
+	// Err describes why the directive is malformed ("" when valid).
+	Err string
+}
+
+// ParseIgnoreDirective parses the text of a single comment. It reports
+// ok=false when the comment is not a //lint:ignore directive at all
+// (ordinary comments are not findings). When ok is true, d.Err is
+// non-empty if the directive is malformed: missing check name, unknown
+// check name, the unsuppressible "directive" pseudo-check, or a missing
+// reason. Exported (and fuzzed) so the grammar has exactly one
+// implementation.
+func ParseIgnoreDirective(text string) (d Directive, ok bool) {
+	rest, found := strings.CutPrefix(text, ignorePrefix)
+	if !found {
+		return Directive{}, false
+	}
+	// "//lint:ignorexyz" is a different (unknown) directive, not a
+	// malformed ignore; stay out of its way.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return Directive{}, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Directive{Err: "malformed //lint:ignore: missing check name and reason"}, true
+	}
+	for _, name := range strings.Split(fields[0], ",") {
+		if name == "" {
+			return Directive{Err: "malformed //lint:ignore: empty check name"}, true
+		}
+		if name == DirectiveCheck {
+			return Directive{Err: `malformed //lint:ignore: the "directive" pseudo-check cannot be suppressed`}, true
+		}
+		if !KnownCheck(name) {
+			return Directive{Err: fmt.Sprintf("malformed //lint:ignore: unknown check %q (known: %v)", name, Checks())}, true
+		}
+		d.Checks = append(d.Checks, name)
+	}
+	reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+	if reason == "" {
+		return Directive{Err: fmt.Sprintf("malformed //lint:ignore %s: missing reason (a justification is mandatory)", fields[0])}, true
+	}
+	d.Reason = reason
+	return d, true
+}
+
+// collectDirectives parses every //lint:ignore comment in the package,
+// in file order, attaching positions.
+func collectDirectives(m *Module, p *Package) []Directive {
+	var out []Directive
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := ParseIgnoreDirective(commentDirectiveText(c))
+				if !ok {
+					continue
+				}
+				d.File, d.Line = m.relFile(c.Pos())
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// commentDirectiveText normalizes a comment for directive parsing: only
+// //-style comments can carry directives (mirroring go:build and
+// friends), and leading whitespace inside the comment is not allowed
+// before "lint:ignore", again matching the toolchain's directive rules.
+func commentDirectiveText(c *ast.Comment) string {
+	return c.Text
+}
+
+// suppressed reports whether finding f is covered by a valid directive:
+// same file, matching check, on the finding's line or the line
+// immediately above it. Line-anchored (rather than AST-anchored)
+// scoping keeps the rule explainable — a directive never silently covers
+// a whole block.
+func suppressed(f Finding, dirs []Directive) bool {
+	for _, d := range dirs {
+		if d.Err != "" || d.File != f.File {
+			continue
+		}
+		if d.Line != f.Line && d.Line != f.Line-1 {
+			continue
+		}
+		for _, c := range d.Checks {
+			if c == f.Check {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseIgnoreDirective pins the directive grammar: valid single- and
+// multi-check forms, and every malformed shape, which must parse as a
+// directive carrying an error (so it becomes a finding) rather than be
+// ignored.
+func TestParseIgnoreDirective(t *testing.T) {
+	cases := []struct {
+		text   string
+		ok     bool
+		errSub string // "" = must be valid
+		checks []string
+		reason string
+	}{
+		{"// ordinary comment", false, "", nil, ""},
+		{"//lint:ignoreextra something", false, "", nil, ""},
+		{"//go:generate foo", false, "", nil, ""},
+		{"//lint:ignore walltime stderr timing only", true, "", []string{"walltime"}, "stderr timing only"},
+		{"//lint:ignore walltime,globalrand shared reason", true, "", []string{"walltime", "globalrand"}, "shared reason"},
+		{"//lint:ignore\twalltime\ttabbed reason", true, "", []string{"walltime"}, "tabbed reason"},
+		{"//lint:ignore", true, "missing check name and reason", nil, ""},
+		{"//lint:ignore walltime", true, "missing reason", nil, ""},
+		{"//lint:ignore walltime,globalrand", true, "missing reason", nil, ""},
+		{"//lint:ignore nosuch reason here", true, "unknown check", nil, ""},
+		{"//lint:ignore directive cannot excuse itself", true, "cannot be suppressed", nil, ""},
+		{"//lint:ignore walltime, trailing comma means empty name", true, "empty check name", nil, ""},
+		{"//lint:ignore ,walltime leading comma", true, "empty check name", nil, ""},
+	}
+	for _, c := range cases {
+		d, ok := ParseIgnoreDirective(c.text)
+		if ok != c.ok {
+			t.Errorf("%q: ok=%v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if c.errSub != "" {
+			if d.Err == "" || !strings.Contains(d.Err, c.errSub) {
+				t.Errorf("%q: err=%q, want substring %q", c.text, d.Err, c.errSub)
+			}
+			continue
+		}
+		if d.Err != "" {
+			t.Errorf("%q: unexpected err %q", c.text, d.Err)
+			continue
+		}
+		if strings.Join(d.Checks, ",") != strings.Join(c.checks, ",") {
+			t.Errorf("%q: checks=%v, want %v", c.text, d.Checks, c.checks)
+		}
+		if d.Reason != c.reason {
+			t.Errorf("%q: reason=%q, want %q", c.text, d.Reason, c.reason)
+		}
+	}
+}
+
+// TestSuppressedLineAnchoring pins the scoping rule: a directive covers
+// its own line and the line immediately below, in its own file, for its
+// named checks only — and a malformed directive covers nothing.
+func TestSuppressedLineAnchoring(t *testing.T) {
+	valid := Directive{File: "a.go", Line: 10, Checks: []string{"walltime"}, Reason: "r"}
+	broken := Directive{File: "a.go", Line: 20, Checks: []string{"walltime"}, Err: "malformed"}
+	dirs := []Directive{valid, broken}
+	cases := []struct {
+		f    Finding
+		want bool
+	}{
+		{Finding{File: "a.go", Line: 10, Check: "walltime"}, true},  // same line
+		{Finding{File: "a.go", Line: 11, Check: "walltime"}, true},  // line below
+		{Finding{File: "a.go", Line: 12, Check: "walltime"}, false}, // too far
+		{Finding{File: "a.go", Line: 9, Check: "walltime"}, false},  // above
+		{Finding{File: "b.go", Line: 11, Check: "walltime"}, false}, // other file
+		{Finding{File: "a.go", Line: 11, Check: "docs"}, false},     // other check
+		{Finding{File: "a.go", Line: 21, Check: "walltime"}, false}, // malformed suppresses nothing
+	}
+	for _, c := range cases {
+		if got := suppressed(c.f, dirs); got != c.want {
+			t.Errorf("suppressed(%+v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}

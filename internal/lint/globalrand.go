@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand (and v2) functions that build a new
+// generator. They are legal only inside the two packages that anchor the
+// repository's seed discipline: internal/sim (the seed-isolated RNG tree)
+// and internal/faultinject (its documented independent RNG fork).
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// randExemptRel are the module-relative package directories allowed to
+// construct math/rand generators.
+var randExemptRel = map[string]bool{
+	"internal/sim":         true,
+	"internal/faultinject": true,
+}
+
+// checkGlobalRand enforces DESIGN.md §9 "seed-isolated RNG trees":
+// math/rand's top-level functions draw from process-global state shared
+// across every goroutine and every simulation in the process, so a single
+// call anywhere destroys replica independence. Ad-hoc generator
+// construction (rand.New and friends) is confined to internal/sim and
+// internal/faultinject; everything else must take a *sim.RNG from its
+// system's seed tree.
+func checkGlobalRand(m *Module, p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ident, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[ident].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods on an already-built *rand.Rand: construction was the sin
+			}
+			file, line := m.relFile(ident.Pos())
+			if randConstructors[fn.Name()] {
+				if randExemptRel[p.Rel] {
+					return true
+				}
+				out = append(out, Finding{
+					File: file, Line: line, Check: "globalrand",
+					Message: fmt.Sprintf("%s.%s constructs an ad-hoc RNG outside internal/sim and internal/faultinject; draw a *sim.RNG from the system's seed tree (DESIGN.md §9)", path, fn.Name()),
+				})
+				return true
+			}
+			out = append(out, Finding{
+				File: file, Line: line, Check: "globalrand",
+				Message: fmt.Sprintf("%s.%s uses process-global RNG state; draw a *sim.RNG from the system's seed tree (DESIGN.md §9)", path, fn.Name()),
+			})
+			return true
+		})
+	}
+	return out
+}

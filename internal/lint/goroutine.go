@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// sinkTypes are the unsynchronized-by-design telemetry types that must be
+// owned by exactly one goroutine at a time (the ownership clause of
+// DESIGN.md §9). Matched by (package-path tail, type name) so fixture
+// modules exercise the rule with their own telemetry/core packages.
+var sinkTypes = map[[2]string]bool{
+	{"telemetry", "Registry"}:  true,
+	{"telemetry", "Sampler"}:   true,
+	{"telemetry", "Tracer"}:    true,
+	{"telemetry", "Series"}:    true,
+	{"core", "TelemetryScope"}: true,
+}
+
+// checkGoroutineOwnership enforces the ownership clause of DESIGN.md §9
+// at the type level: internal/telemetry takes no locks, so a sink belongs
+// to exactly one System on exactly one goroutine, and parallelism is
+// expressed by handing whole jobs to internal/runpool — never by spawning
+// a goroutine that shares a live sink. The check flags go statements
+// outside internal/runpool whose function literal captures, or whose call
+// receives, a value that is (or contains, through pointers, slices,
+// arrays, maps, and channels) one of the sink types.
+func checkGoroutineOwnership(m *Module, p *Package) []Finding {
+	if p.Rel == "internal/runpool" {
+		return nil // the one blessed place goroutines are launched
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			out = append(out, goStmtSinks(m, p, g)...)
+			return true
+		})
+	}
+	return out
+}
+
+// goStmtSinks reports every telemetry sink a go statement smuggles onto a
+// new goroutine, via captured variables or call arguments.
+func goStmtSinks(m *Module, p *Package, g *ast.GoStmt) []Finding {
+	var out []Finding
+	seen := map[string]bool{}
+	report := func(pos ast.Node, how, name string, t types.Type) {
+		key := how + name
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		file, line := m.relFile(pos.Pos())
+		out = append(out, Finding{File: file, Line: line, Check: "goroutineownership",
+			Message: fmt.Sprintf("goroutine %s %s (%s), an unsynchronized telemetry sink owned by one goroutine; hand whole jobs to internal/runpool instead (DESIGN.md §9)", how, name, t)})
+	}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			ident, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := p.Info.Uses[ident].(*types.Var)
+			if !ok || v.IsField() {
+				return true
+			}
+			if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+				return true // declared inside the literal: owned by the new goroutine
+			}
+			if holdsSink(v.Type(), 0) {
+				report(ident, "captures", ident.Name, v.Type())
+			}
+			return true
+		})
+	}
+	for _, arg := range g.Call.Args {
+		if t := p.Info.TypeOf(arg); t != nil && holdsSink(t, 0) {
+			report(arg, "receives argument", types.ExprString(arg), t)
+		}
+	}
+	return out
+}
+
+// holdsSink reports whether t is, or transparently contains (through
+// pointers, slices, arrays, maps, and channels), one of the sink types.
+// Struct fields are deliberately not traversed: a struct that embeds a
+// sink is that struct's ownership problem and gets its own named-type
+// entry if it matters (core.TelemetryScope is listed for exactly that
+// reason).
+func holdsSink(t types.Type, depth int) bool {
+	if t == nil || depth > 8 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			path := obj.Pkg().Path()
+			base := path[strings.LastIndex(path, "/")+1:]
+			if sinkTypes[[2]string{base, obj.Name()}] {
+				return true
+			}
+		}
+		u := named.Underlying()
+		if _, isStruct := u.(*types.Struct); isStruct {
+			return false
+		}
+		return holdsSink(u, depth+1)
+	}
+	switch v := t.(type) {
+	case *types.Alias:
+		return holdsSink(types.Unalias(t), depth+1)
+	case *types.Pointer:
+		return holdsSink(v.Elem(), depth+1)
+	case *types.Slice:
+		return holdsSink(v.Elem(), depth+1)
+	case *types.Array:
+		return holdsSink(v.Elem(), depth+1)
+	case *types.Chan:
+		return holdsSink(v.Elem(), depth+1)
+	case *types.Map:
+		return holdsSink(v.Key(), depth+1) || holdsSink(v.Elem(), depth+1)
+	}
+	return false
+}

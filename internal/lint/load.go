@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the linted module.
+// TypeErrors collects (rather than aborts on) type-check problems so the
+// linter stays usable on code that is mid-refactor; checks consult
+// whatever type information resolved.
+type Package struct {
+	// Dir is the absolute directory the package was parsed from.
+	Dir string
+	// Rel is the slash-separated module-root-relative directory
+	// ("." for the module root package).
+	Rel string
+	// ImportPath is the package's import path within the module.
+	ImportPath string
+	// Files holds the parsed non-test files, in sorted file-name order so
+	// findings are emitted deterministically.
+	Files []*ast.File
+	// Types is the type-checked package object (never nil, possibly
+	// incomplete when TypeErrors is non-empty).
+	Types *types.Package
+	// Info carries the resolved uses/defs/types for the files.
+	Info *types.Info
+	// TypeErrors are the errors the type checker reported, if any.
+	TypeErrors []error
+}
+
+// Module is a loaded Go module: the parse/type-check state shared by all
+// checks. Loading is lazy and memoized per package directory, and intra-
+// module imports resolve through the same cache, so `hsmlint ./internal/x`
+// type-checks only x and its dependency cone.
+type Module struct {
+	// Root is the absolute module root (the directory holding go.mod).
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset is the single file set all packages (and source-imported
+	// stdlib) share, so positions are comparable across packages.
+	Fset *token.FileSet
+
+	pkgs    map[string]*Package // keyed by Rel
+	loading map[string]bool     // import-cycle guard
+	std     types.ImporterFrom  // source importer for stdlib packages
+}
+
+// LoadModule prepares the module rooted at root (which must contain
+// go.mod) for lazy package loading. No packages are parsed yet; call
+// Load or Dirs next.
+func LoadModule(root string) (*Module, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: module root %s: %w", abs, err)
+	}
+	path := modulePath(string(data))
+	if path == "" {
+		return nil, fmt.Errorf("lint: no module path in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	imp, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	return &Module{
+		Root:    abs,
+		Path:    path,
+		Fset:    fset,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		std:     imp,
+	}, nil
+}
+
+// modulePath extracts the module path from go.mod content.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			return strings.Trim(rest, `"`)
+		}
+	}
+	return ""
+}
+
+// Dirs walks the module tree and returns every root-relative directory
+// containing at least one non-test .go file, in sorted order. Directories
+// named testdata, hidden directories, and directories starting with "_"
+// are skipped, matching the go tool's package-pattern rules.
+func (m *Module) Dirs() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != m.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if goSource(e.Name()) {
+				rel, err := filepath.Rel(m.Root, path)
+				if err != nil {
+					return err
+				}
+				out = append(out, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// goSource reports whether name is a non-test Go source file the linter
+// should parse.
+func goSource(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// Load parses and type-checks the package in the root-relative directory
+// rel (memoized). Only non-test files are analyzed: the determinism
+// contract governs simulation code; tests are free to use wall clocks and
+// throwaway RNGs.
+func (m *Module) Load(rel string) (*Package, error) {
+	rel = filepath.ToSlash(filepath.Clean(rel))
+	if p, ok := m.pkgs[rel]; ok {
+		return p, nil
+	}
+	if m.loading[rel] {
+		return nil, fmt.Errorf("lint: import cycle through %q", rel)
+	}
+	m.loading[rel] = true
+	defer delete(m.loading, rel)
+
+	dir := filepath.Join(m.Root, filepath.FromSlash(rel))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && goSource(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	importPath := m.Path
+	if rel != "." {
+		importPath = m.Path + "/" + rel
+	}
+	p := &Package{Dir: dir, Rel: rel, ImportPath: importPath, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer:    (*moduleImporter)(m),
+		FakeImportC: true,
+		Error:       func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	tp, _ := conf.Check(importPath, m.Fset, files, info)
+	p.Types = tp
+	p.Info = info
+	m.pkgs[rel] = p
+	return p, nil
+}
+
+// moduleImporter resolves intra-module import paths through the module's
+// lazy package cache and everything else through the stdlib source
+// importer, keeping the whole pipeline free of external dependencies.
+type moduleImporter Module
+
+// Import implements types.Importer.
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	m := (*Module)(mi)
+	if rel, ok := m.relOf(path); ok {
+		p, err := m.Load(rel)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return m.std.ImportFrom(path, m.Root, 0)
+}
+
+// relOf maps an import path inside this module to its root-relative
+// directory. Reports false for stdlib (and any other external) paths.
+func (m *Module) relOf(importPath string) (string, bool) {
+	if importPath == m.Path {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(importPath, m.Path+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// relFile renders a token.Pos as a slash-separated module-root-relative
+// "file" string plus line, the coordinate system all findings use.
+func (m *Module) relFile(pos token.Pos) (string, int) {
+	position := m.Fset.Position(pos)
+	rel, err := filepath.Rel(m.Root, position.Filename)
+	if err != nil {
+		rel = position.Filename
+	}
+	return filepath.ToSlash(rel), position.Line
+}

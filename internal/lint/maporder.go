@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkMapOrder enforces DESIGN.md §9 "index-ordered collection" at the
+// statement level: Go randomizes map iteration order, so a range over a
+// map that directly produces ordered output — writing to an io.Writer or
+// fmt printer, feeding a telemetry sink, or collecting into a slice that
+// is never sorted — produces run-to-run different artifacts. The
+// byte-identity tests catch this only probabilistically (two-element maps
+// agree half the time); the check catches it always.
+//
+// The blessed idiom stays clean: collect the keys into a slice inside the
+// loop, sort the slice, then iterate the slice. An append inside a map
+// range is fine exactly when a sort call (package sort, or slices.Sort*)
+// naming the same slice appears later in the enclosing function.
+func checkMapOrder(m *Module, p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				body = d.Body
+			case *ast.FuncLit:
+				body = d.Body
+			default:
+				return true
+			}
+			if body != nil {
+				out = append(out, mapOrderInFunc(m, p, body)...)
+			}
+			return true // nested function literals are analyzed as their own functions
+		})
+	}
+	return out
+}
+
+// mapOrderInFunc analyzes one function body: finds map ranges belonging
+// to this function (not to nested function literals) and scans their
+// loop bodies for order-sensitive sinks.
+func mapOrderInFunc(m *Module, p *Package, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	walkSkippingFuncLits(body, func(n ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(p, rs.X) {
+			return
+		}
+		out = append(out, mapRangeSinks(m, p, body, rs)...)
+	})
+	return out
+}
+
+// walkSkippingFuncLits visits every node under root except the interiors
+// of nested *ast.FuncLit, which belong to a different function scope.
+func walkSkippingFuncLits(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// isMapType reports whether the expression's type is (or aliases/names) a
+// map.
+func isMapType(p *Package, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// mapRangeSinks reports the order-sensitive sinks inside one map-range
+// body. Direct output (fmt printers, Write* methods, telemetry calls) is
+// always a finding; appends are findings only when no later sort in the
+// same function names the appended slice.
+func mapRangeSinks(m *Module, p *Package, fnBody *ast.BlockStmt, rs *ast.RangeStmt) []Finding {
+	var out []Finding
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(p, call); fn != nil {
+			pkg := fn.Pkg()
+			switch {
+			case pkg != nil && pkg.Path() == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")):
+				file, line := m.relFile(call.Pos())
+				out = append(out, Finding{File: file, Line: line, Check: "maporder",
+					Message: fmt.Sprintf("fmt.%s inside a map range emits in random iteration order; iterate a sorted key slice (DESIGN.md §9)", fn.Name())})
+				return true
+			case pkg != nil && pkgIsTelemetry(pkg):
+				file, line := m.relFile(call.Pos())
+				out = append(out, Finding{File: file, Line: line, Check: "maporder",
+					Message: fmt.Sprintf("telemetry call %s.%s inside a map range records in random iteration order; iterate a sorted key slice (DESIGN.md §9)", pkg.Name(), fn.Name())})
+				return true
+			case fn.Type().(*types.Signature).Recv() != nil && writerMethod(fn.Name()):
+				file, line := m.relFile(call.Pos())
+				out = append(out, Finding{File: file, Line: line, Check: "maporder",
+					Message: fmt.Sprintf("%s inside a map range writes in random iteration order; iterate a sorted key slice (DESIGN.md §9)", fn.Name())})
+				return true
+			}
+		}
+		if bi, ok := p.Info.Uses[calleeIdent(call)].(*types.Builtin); ok && bi.Name() == "append" && len(call.Args) > 0 {
+			target := types.ExprString(call.Args[0])
+			if !sortsExprAfter(p, fnBody, rs.End(), target) {
+				file, line := m.relFile(rs.Pos())
+				out = append(out, Finding{File: file, Line: line, Check: "maporder",
+					Message: fmt.Sprintf("map range appends to %s, which is never sorted afterwards in this function; sort before emitting (DESIGN.md §9)", target)})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// writerMethod reports whether a method name is one of the io.Writer /
+// bufio / strings.Builder write verbs whose call order is the output
+// order.
+func writerMethod(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return true
+	}
+	return false
+}
+
+// calleeIdent returns the identifier being called for plain calls
+// (append(...), f(...)), or nil for selector and other callees.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	id, _ := ast.Unparen(call.Fun).(*ast.Ident)
+	return id
+}
+
+// calleeFunc resolves a call's target to a *types.Func for both
+// pkg.Fn(...) and recv.Method(...) shapes; nil for builtins, conversions,
+// and calls of function-typed values.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// pkgIsTelemetry reports whether a package is the repository's telemetry
+// package (matched by import-path tail so fixture modules exercise the
+// rule too).
+func pkgIsTelemetry(pkg *types.Package) bool {
+	return pkg.Path() == "telemetry" || strings.HasSuffix(pkg.Path(), "/telemetry")
+}
+
+// sortsExprAfter reports whether, somewhere after pos in the function
+// body, a sorting call (any function of package sort, or a slices.Sort*
+// function) mentions the given expression among its arguments.
+func sortsExprAfter(p *Package, fnBody *ast.BlockStmt, pos token.Pos, target string) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		isSort := path == "sort" || (path == "slices" && strings.HasPrefix(fn.Name(), "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprMentions(arg, target) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprMentions reports whether any sub-expression of e renders exactly as
+// target (so sort.Sort(byLoad(stores)) counts as sorting "stores").
+func exprMentions(e ast.Expr, target string) bool {
+	hit := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if hit {
+			return false
+		}
+		if expr, ok := n.(ast.Expr); ok && types.ExprString(expr) == target {
+			hit = true
+			return false
+		}
+		return true
+	})
+	return hit
+}

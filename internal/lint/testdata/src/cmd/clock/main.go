@@ -1,0 +1,13 @@
+// Command clock shows the walltime check's scope: wall-clock reads
+// outside internal/ (CLI progress timing and the like) are legal.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println("elapsed:", time.Since(start))
+}

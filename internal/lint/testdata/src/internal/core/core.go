@@ -1,0 +1,6 @@
+// Package core is the fixture stand-in for the repository's core
+// package; it supplies the TelemetryScope sink type.
+package core
+
+// TelemetryScope owns a fork tree of telemetry sinks.
+type TelemetryScope struct{ slots []int }

@@ -1,0 +1,21 @@
+// Package directives seeds the malformed-suppression cases: unknown
+// check names, the unsuppressible directive pseudo-check, a bare marker,
+// and a valid multi-check suppression.
+package directives
+
+import "time"
+
+//lint:ignore nosuchcheck this directive names an unknown check: finding
+
+//lint:ignore directive the pseudo-check cannot be suppressed: finding
+
+//lint:ignore
+
+//lint:ignoreextra not an ignore directive at all; stays silent
+
+// MultiSuppressed is covered by one directive naming two checks: the
+// wall-clock read below it stays quiet.
+func MultiSuppressed() time.Time {
+	//lint:ignore walltime,globalrand fixture: one directive may cover several checks
+	return time.Now()
+}

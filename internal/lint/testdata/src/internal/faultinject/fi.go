@@ -1,0 +1,11 @@
+// Package faultinject is the fixture stand-in for the fault injector's
+// independent RNG fork, the second package allowed to construct
+// math/rand generators.
+package faultinject
+
+import "math/rand"
+
+// Fork derives an independent source from a salted seed.
+func Fork(seed int64) rand.Source {
+	return rand.NewSource(seed ^ 0x5f)
+}

@@ -1,0 +1,54 @@
+// Package goroutine seeds deliberate sink-sharing violations for the
+// goroutineownership check: goroutines capturing or receiving
+// unsynchronized telemetry sinks outside internal/runpool.
+package goroutine
+
+import (
+	"fixture/internal/core"
+	"fixture/internal/telemetry"
+)
+
+// BadCapture closes over a live Registry: one finding.
+func BadCapture(reg *telemetry.Registry, done chan struct{}) {
+	go func() {
+		reg.Inc()
+		close(done)
+	}()
+}
+
+// BadArg hands a Registry to a goroutine by argument: one finding.
+func BadArg(reg *telemetry.Registry, done chan struct{}) {
+	go func(r *telemetry.Registry, d chan struct{}) {
+		r.Inc()
+		close(d)
+	}(reg, done)
+}
+
+// BadScopeSlice captures a slice of scopes (a container of sinks): one
+// finding.
+func BadScopeSlice(scopes []*core.TelemetryScope, done chan struct{}) {
+	go func() {
+		_ = scopes[0]
+		close(done)
+	}()
+}
+
+// GoodPlain captures only plain data: no finding.
+func GoodPlain(done chan struct{}) {
+	x := 0
+	go func() {
+		x++
+		close(done)
+	}()
+	<-done
+}
+
+// GoodLocal builds its own sink inside the goroutine, which therefore
+// owns it: no finding.
+func GoodLocal(done chan struct{}) {
+	go func() {
+		var r telemetry.Registry
+		r.Inc()
+		close(done)
+	}()
+}

@@ -1,0 +1,83 @@
+// Package maporder seeds deliberate map-iteration-order violations for
+// the maporder check, next to each blessed collect-then-sort idiom the
+// check must leave alone.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"fixture/internal/telemetry"
+)
+
+// BadAppend collects map keys but never sorts them: one finding at the
+// range statement.
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// GoodAppend is the blessed idiom — collect, sort, then emit: no finding.
+func GoodAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodSortSlice sorts through a comparator naming the slice: no finding.
+func GoodSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// BadFprint writes to w in map iteration order: one finding.
+func BadFprint(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// BadBuilder writes through a Write* method in map order: one finding.
+func BadBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// BadTelemetry feeds a telemetry sink in map order: one finding.
+func BadTelemetry(reg *telemetry.Registry, m map[string]int) {
+	for range m {
+		reg.Inc()
+	}
+}
+
+// GoodSum only folds values commutatively enough for the check's scope:
+// no finding.
+func GoodSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodSliceRange ranges a slice, not a map: no finding.
+func GoodSliceRange(w io.Writer, xs []string) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}

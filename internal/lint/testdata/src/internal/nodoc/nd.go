@@ -1,0 +1,5 @@
+package nodoc
+
+// V exists so the package is non-empty; the missing package doc comment
+// above is the seeded docs violation.
+var V = 1

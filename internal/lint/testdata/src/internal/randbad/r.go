@@ -1,0 +1,25 @@
+// Package randbad seeds deliberate global-RNG violations for the
+// globalrand check, including an aliased math/rand/v2 import and an
+// end-of-line suppression.
+package randbad
+
+import (
+	"math/rand"
+
+	mr "math/rand/v2"
+)
+
+// Draw uses process-global RNG state: one finding.
+func Draw() int { return rand.Intn(6) }
+
+// Build constructs an ad-hoc generator outside the seed tree: two
+// findings (constructor and source).
+func Build() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+// DrawV2 uses the aliased v2 global: one finding.
+func DrawV2() int { return mr.IntN(6) }
+
+// SuppressedDraw documents why the global is acceptable here: no finding.
+func SuppressedDraw() int {
+	return rand.Intn(6) //lint:ignore globalrand fixture: demonstrates an end-of-line suppression
+}

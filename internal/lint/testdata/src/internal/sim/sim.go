@@ -1,0 +1,10 @@
+// Package sim is the fixture stand-in for the seed-tree package: the one
+// place (with faultinject) allowed to construct math/rand generators.
+package sim
+
+import "math/rand"
+
+// NewSeeded builds a generator from a seed; legal here and only here.
+func NewSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

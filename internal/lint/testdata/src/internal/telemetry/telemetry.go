@@ -1,0 +1,20 @@
+// Package telemetry is the fixture stand-in for the repository's
+// unsynchronized-by-design telemetry package: the sink types the
+// goroutineownership and maporder checks key on, matched by package-path
+// tail and type name.
+package telemetry
+
+// Registry is a single-owner metrics sink.
+type Registry struct{ n int }
+
+// Inc records one event.
+func (r *Registry) Inc() { r.n++ }
+
+// Sampler is a single-owner windowed sampler.
+type Sampler struct{}
+
+// Tracer is a single-owner span sink.
+type Tracer struct{}
+
+// Series is a single-owner sampled-row accumulator.
+type Series struct{}

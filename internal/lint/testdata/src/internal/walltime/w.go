@@ -1,0 +1,34 @@
+// Package walltime seeds deliberate wall-clock violations for the
+// walltime check, one suppressed validly, one under a malformed
+// directive that must not suppress.
+package walltime
+
+import "time"
+
+// Stamp reads the wall clock twice and sleeps: three findings.
+func Stamp() time.Duration {
+	t0 := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(t0)
+}
+
+// Wait blocks on a wall-clock timer: one finding.
+func Wait() {
+	<-time.After(time.Millisecond)
+}
+
+// Suppressed carries a valid directive: no finding.
+func Suppressed() time.Time {
+	//lint:ignore walltime fixture: progress timing stays out of simulated artifacts
+	return time.Now()
+}
+
+// BadlySuppressed carries a reason-less directive: the directive itself
+// is a finding, and the wall-clock read still reports.
+func BadlySuppressed() time.Time {
+	//lint:ignore walltime
+	return time.Now()
+}
+
+// CleanDuration uses time only as data: no finding.
+func CleanDuration(d time.Duration) time.Duration { return 2 * d }

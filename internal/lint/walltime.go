@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// wallFuncs are the package time functions that read or wait on the wall
+// clock. Pure data constructors/formatters (time.Duration arithmetic,
+// time.Unix, ParseDuration, ...) are untouched: the contract forbids the
+// *clock*, not the time types.
+var wallFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// checkWalltime enforces DESIGN.md §9 "virtual time only": inside
+// internal/ simulation packages, timestamps must come from the owning
+// sim.Engine (sim.Time), never the wall clock — wall-clock reads vary run
+// to run and poison byte-identical artifacts. Packages outside internal/
+// (cmd/, examples/, the root facade) may time real-world things like CLI
+// progress; they are out of scope. Identifiers are visited in source
+// order (never via the Uses map) so findings come out deterministic
+// before the final sort — the linter holds itself to the maporder rule.
+func checkWalltime(m *Module, p *Package) []Finding {
+	if !strings.HasPrefix(p.Rel, "internal/") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ident, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[ident].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil || !wallFuncs[fn.Name()] {
+				return true
+			}
+			file, line := m.relFile(ident.Pos())
+			out = append(out, Finding{
+				File: file, Line: line, Check: "walltime",
+				Message: fmt.Sprintf("time.%s reads the wall clock in a simulation package; stamp with sim.Time from the owning sim.Engine (DESIGN.md §9)", fn.Name()),
+			})
+			return true
+		})
+	}
+	return out
+}
