@@ -16,8 +16,14 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/mgmt"
 	"repro/internal/perfmodel"
+	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 var (
@@ -312,6 +318,88 @@ func BenchmarkFig9Schedule(b *testing.B) {
 		if p1 > 0 {
 			b.ReportMetric(float64(base)/float64(p1), "p1_makespan_gain")
 		}
+	}
+}
+
+// benchMgmtRecord is the schema of BENCH_mgmt.json.
+type benchMgmtRecord struct {
+	Stores     int     `json:"stores"`
+	VMDKs      int     `json:"vmdks"`
+	Scheme     string  `json:"scheme"`
+	WindowUS   float64 `json:"window_us"` // simulated window length
+	Iterations int     `json:"iterations"`
+	// WindowWallUS is the mean wall-clock cost of simulating one
+	// management window: one epoch of the observe → plan → execute
+	// pipeline plus the foreground I/O that populates its windows.
+	WindowWallUS float64 `json:"window_wall_us"`
+	Migrations   int64   `json:"migrations_started"`
+}
+
+// BenchmarkManagerEpoch times the management loop's hot path: one node
+// with its three datastores (NVDIMM, SSD, HDD), 32 VMDKs with light
+// foreground traffic, and the full scheme (contention-aware estimation,
+// redirection, tagging), so every pipeline stage runs each window. One
+// benchmark iteration advances the simulation by exactly one management
+// window — one epoch — and the mean wall cost lands in BENCH_mgmt.json
+// alongside BENCH_parallel.json so the pipeline's overhead is tracked
+// across refactors.
+func BenchmarkManagerEpoch(b *testing.B) {
+	const nVMDKs = 32
+	model := benchSharedModel(b)
+	c := cluster.New()
+	if _, err := c.AddNode(cluster.NodeConfig{
+		Name:     "bench",
+		Channels: 4,
+		NVDIMM:   core.ScaledNVDIMMConfig("bench-nvdimm"),
+		SSD:      core.ScaledSSDConfig("bench-ssd"),
+		HDD:      core.ScaledHDDConfig("bench-hdd", 7),
+	}, sim.NewRNG(7)); err != nil {
+		b.Fatal(err)
+	}
+	stores := c.AllStores()
+	cfg := mgmt.DefaultConfig()
+	cfg.Window = sim.Millisecond
+	cfg.MinWindowRequests = 1
+	mgr := mgmt.NewManager(c.Eng, cfg, mgmt.Full(), stores)
+	mgr.SetModel(device.KindNVDIMM, model)
+	p := workload.Profile{Name: "bench", WriteRatio: 0.3, ReadRand: 0.5, WriteRand: 0.5,
+		IOSize: 4096, OIO: 1, Footprint: 1 << 20, ThinkTime: 100 * sim.Microsecond}
+	for i := 0; i < nVMDKs; i++ {
+		v, err := stores[i%len(stores)].CreateVMDK(i+1, 4<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		workload.NewRunner(c.Eng, sim.NewRNG(uint64(i)+1), p, v, i).Start()
+	}
+	mgr.Start()
+	if err := c.Eng.RunFor(2 * cfg.Window); err != nil { // warm the windows
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := c.Eng.RunFor(cfg.Window); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wall := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(wall.Seconds()*1e6/float64(b.N), "window_wall_us/op")
+	rec := benchMgmtRecord{
+		Stores:       len(stores),
+		VMDKs:        nVMDKs,
+		Scheme:       mgmt.Full().Name,
+		WindowUS:     cfg.Window.Seconds() * 1e6,
+		Iterations:   b.N,
+		WindowWallUS: wall.Seconds() * 1e6 / float64(b.N),
+		Migrations:   int64(mgr.Stats().MigrationsStarted),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_mgmt.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -7,7 +7,15 @@
 //	             table5|fig4|fig5|fig7|fig9|fig12|fig13|fig14|fig15|
 //	             fig16|fig17|tau|placement|dax|faults|ablations]
 //	            [-scale quick|full] [-seed N] [-jobs N]
+//	            [-policy SPEC]
 //	            [-trace-out FILE] [-metrics-out FILE] [-sample-ms N]
+//
+// -policy SPEC runs a policy study instead of the matrix: the spec (a
+// canonical scheme name or a stage composition like
+// "est=predicted,exec=redirect,gate=copy" — see internal/mgmt/policy) is
+// compared against the canonical lineup on the Fig. 12 single-node
+// interference mix. The matrix experiments and their outputs are
+// untouched.
 //
 // -jobs N shards independent experiment cells (and the sweep points
 // inside them) across min(N, cells) worker goroutines; 0 means
@@ -40,6 +48,7 @@ func main() {
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	seed := flag.Uint64("seed", 99, "model-training seed")
 	jobs := flag.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS, 1 = sequential)")
+	policySpec := flag.String("policy", "", "run a policy study for this spec instead of the matrix (scheme name or stage composition)")
 	traceOut := flag.String("trace-out", "", "write spans from every built system (Chrome trace JSON; .jsonl = line-delimited)")
 	metricsOut := flag.String("metrics-out", "", "write sampled metrics from every built system as CSV")
 	sampleMS := flag.Int("sample-ms", 25, "metric sampling interval in simulated milliseconds")
@@ -61,6 +70,21 @@ func main() {
 		sim.Time(*sampleMS)*sim.Millisecond)
 	scale.Scope = scope
 	scale.Jobs = *jobs
+
+	if *policySpec != "" {
+		fmt.Fprintln(os.Stderr, "training NVDIMM performance model...")
+		model, err := core.TrainScaledNVDIMMModel(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		study, err := experiments.PolicyStudy(*policySpec, scale, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("===== policy =====\n%s\n", study)
+		exportTelemetry(scope, *traceOut, *metricsOut)
+		return
+	}
 
 	var names []string
 	if want := strings.ToLower(*exp); want != "all" {
@@ -89,23 +113,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%s finished in %.1fs\n", r.Name, r.Elapsed.Seconds())
 	}
 
-	if scope.Enabled() {
-		tel := scope.Merge()
-		if *traceOut != "" {
-			if err := writeTrace(*traceOut, tel.Tracer); err != nil {
-				log.Fatalf("trace export: %v", err)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tel.Tracer.NumEvents(), *traceOut)
-		}
-		if *metricsOut != "" {
-			if err := writeCSV(*metricsOut, tel.Series); err != nil {
-				log.Fatalf("metrics export: %v", err)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %d metric samples to %s\n", tel.Series.Len(), *metricsOut)
-		}
-	}
+	exportTelemetry(scope, *traceOut, *metricsOut)
 	if failed > 0 {
 		os.Exit(1)
+	}
+}
+
+// exportTelemetry merges and writes the scope's trace/metric artifacts
+// (no-op when telemetry was not requested).
+func exportTelemetry(scope *core.TelemetryScope, traceOut, metricsOut string) {
+	if !scope.Enabled() {
+		return
+	}
+	tel := scope.Merge()
+	if traceOut != "" {
+		if err := writeTrace(traceOut, tel.Tracer); err != nil {
+			log.Fatalf("trace export: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tel.Tracer.NumEvents(), traceOut)
+	}
+	if metricsOut != "" {
+		if err := writeCSV(metricsOut, tel.Series); err != nil {
+			log.Fatalf("metrics export: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d metric samples to %s\n", tel.Series.Len(), metricsOut)
 	}
 }
 

@@ -5,12 +5,21 @@
 // Usage:
 //
 //	hsmsim [-scheme basil|pesto|lightsrm|bca|bca-lazy|full]
+//	       [-policy SPEC] [-stage-spans]
 //	       [-mem 429.mcf|470.lbm|433.milc] [-memscale F]
 //	       [-nodes N] [-duration MS] [-apps a,b,c] [-tau F] [-seed N]
 //	       [-bypass] [-sched baseline|p1|p2|both]
 //	       [-replicas N] [-replica-seeds S1,S2,...] [-jobs N]
 //	       [-trace-out FILE] [-metrics-out FILE] [-sample-ms N] [-declog N]
 //	       [-fault-spec SPEC] [-max-events N]
+//
+// With -policy the management scheme is given as a policy spec instead
+// of a name: either a canonical scheme name or a comma-separated stage
+// composition such as "est=predicted,exec=redirect,gate=copy,tag=on"
+// (see the internal/mgmt/policy package for the grammar). -stage-spans
+// adds per-pipeline-stage instants ("mgmt.observe"/".plan"/".execute")
+// and stage tags to the recorded trace; it is off by default because it
+// changes trace output.
 //
 // With -replicas N the same configuration runs N times under different
 // seeds (default seed, seed+1, ...; override with -replica-seeds), the
@@ -47,30 +56,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/memsched"
 	"repro/internal/mgmt"
+	"repro/internal/mgmt/policy"
 	"repro/internal/runpool"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
-
-func schemeByName(name string) (mgmt.Scheme, error) {
-	switch strings.ToLower(name) {
-	case "basil":
-		return mgmt.BASIL(), nil
-	case "pesto":
-		return mgmt.Pesto(), nil
-	case "lightsrm":
-		return mgmt.LightSRM(), nil
-	case "bca":
-		return mgmt.BCA(), nil
-	case "bca-lazy", "bcalazy":
-		return mgmt.BCALazy(), nil
-	case "full":
-		return mgmt.Full(), nil
-	default:
-		return mgmt.Scheme{}, fmt.Errorf("unknown scheme %q", name)
-	}
-}
 
 func policyByName(name string) (memsched.Policy, error) {
 	switch strings.ToLower(name) {
@@ -88,7 +79,9 @@ func policyByName(name string) (memsched.Policy, error) {
 }
 
 func main() {
-	schemeName := flag.String("scheme", "bca-lazy", "management scheme")
+	schemeName := flag.String("scheme", "bca-lazy", "management scheme name")
+	policySpec := flag.String("policy", "", "management policy spec (overrides -scheme): a scheme name or a stage composition like \"est=predicted,exec=redirect,gate=copy,tag=on\"")
+	stageSpans := flag.Bool("stage-spans", false, "emit per-pipeline-stage trace events and stage-tagged decisions (changes trace output)")
 	mem := flag.String("mem", "429.mcf", "memory co-runner profile (empty = none)")
 	memScale := flag.Float64("memscale", 1, "co-runner intensity multiplier")
 	nodes := flag.Int("nodes", 1, "server nodes")
@@ -111,7 +104,11 @@ func main() {
 	jobs := flag.Int("jobs", 0, "parallel replica jobs (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	scheme, err := schemeByName(*schemeName)
+	spec := *schemeName
+	if *policySpec != "" {
+		spec = *policySpec
+	}
+	scheme, err := policy.Parse(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -125,6 +122,7 @@ func main() {
 	cfg.Window = 10 * sim.Millisecond
 	cfg.MinWindowRequests = 3
 	cfg.DecisionLogCap = *decLog
+	cfg.StageSpans = *stageSpans
 
 	var tel *core.Telemetry
 	if *traceOut != "" || *metricsOut != "" {
@@ -173,7 +171,7 @@ func main() {
 		return
 	}
 
-	if scheme.BCAModel {
+	if scheme.NeedsModel() {
 		fmt.Println("training NVDIMM performance model...")
 	}
 	sys, err := core.NewSystem(opts)
@@ -235,7 +233,7 @@ func runReplicas(opts core.Options, scheme mgmt.Scheme, n int, seedList string,
 		}
 	}
 
-	if scheme.BCAModel && opts.Model == nil {
+	if scheme.NeedsModel() && opts.Model == nil {
 		fmt.Println("training NVDIMM performance model...")
 		m, err := core.TrainScaledNVDIMMModel(opts.Seed)
 		if err != nil {

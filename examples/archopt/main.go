@@ -12,11 +12,18 @@ import (
 	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/memsched"
+	"repro/internal/mgmt"
 	"repro/internal/nvdimm"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// migClass is the traffic class migration I/O carries under the full
+// scheme — taken from its execute stage, the same place the manager's
+// migration engine gets it, so this example stays honest if the tagging
+// policy ever changes.
+var migClass = mgmt.Full().Executor.Class()
 
 // runScheduling measures application IOPS on a migration-loaded NVDIMM
 // under the given transaction-queue policy.
@@ -46,7 +53,7 @@ func runScheduling(pol memsched.Policy) float64 {
 	off := int64(64 << 20)
 	var wstream func()
 	wstream = func() {
-		n.Submit(&trace.IORequest{Op: trace.OpWrite, Offset: off, Size: 64 << 10, Class: trace.ClassMigrated},
+		n.Submit(&trace.IORequest{Op: trace.OpWrite, Offset: off, Size: 64 << 10, Class: migClass},
 			func(*trace.IORequest) { eng.Schedule(2*sim.Millisecond, wstream) })
 		off += 64 << 10
 	}
@@ -55,7 +62,7 @@ func runScheduling(pol memsched.Policy) float64 {
 	roff := int64(128 << 20)
 	var rstream func()
 	rstream = func() {
-		n.Submit(&trace.IORequest{Op: trace.OpRead, Offset: roff, Size: 64 << 10, Class: trace.ClassMigrated},
+		n.Submit(&trace.IORequest{Op: trace.OpRead, Offset: roff, Size: 64 << 10, Class: migClass},
 			func(*trace.IORequest) { eng.Schedule(100*sim.Microsecond, rstream) })
 		roff += 64 << 10
 	}
@@ -86,7 +93,7 @@ func runBypass(bypass bool) float64 {
 	off := int64(32 << 20)
 	var scan func()
 	scan = func() {
-		n.Submit(&trace.IORequest{Op: trace.OpRead, Offset: off, Size: 64 << 10, Class: trace.ClassMigrated},
+		n.Submit(&trace.IORequest{Op: trace.OpRead, Offset: off, Size: 64 << 10, Class: migClass},
 			func(*trace.IORequest) { scan() })
 		off += 64 << 10
 	}

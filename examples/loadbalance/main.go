@@ -48,10 +48,19 @@ func main() {
 		return sys.Report()
 	}
 
+	// The BCA arm is built from a policy spec rather than the canonical
+	// constructor — same composition, demonstrating the textual surface.
+	bcaScheme, err := repro.ParsePolicy("name=BCA,est=predicted")
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("running BASIL (measured-latency balancing)...")
+	fmt.Printf("  pipeline: %s\n", repro.SchemeBASIL().Describe())
 	basil := run(repro.SchemeBASIL())
 	fmt.Println("running BCA (model-predicted NVDIMM latency)...")
-	bca := run(repro.SchemeBCA())
+	fmt.Printf("  pipeline: %s\n", bcaScheme.Describe())
+	bca := run(bcaScheme)
 
 	fmt.Printf("\n%-8s %12s %12s %12s %12s\n", "scheme", "migrations", "ping-pongs", "copied", "mean lat")
 	for _, r := range []repro.Report{basil, bca} {

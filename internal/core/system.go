@@ -254,7 +254,7 @@ func NewSystem(opts Options) (*System, error) {
 
 	// Train (or adopt) the NVDIMM performance model.
 	s.Model = opts.Model
-	if s.Model == nil && opts.Scheme.BCAModel {
+	if s.Model == nil && opts.Scheme.NeedsModel() {
 		m, err := TrainScaledNVDIMMModel(opts.Seed)
 		if err != nil {
 			return nil, err

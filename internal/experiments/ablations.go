@@ -223,9 +223,9 @@ type MirroringAblationResult struct {
 // with and without mirroring.
 func MirroringAblation(scale Scale, model *perfmodel.Model) (MirroringAblationResult, error) {
 	run := func(mirror bool) (mgmt.Stats, error) {
-		sch := mgmt.Scheme{Name: "ablate", BCAModel: true, CostBenefit: mirror, Mirroring: mirror}
+		sch := mgmt.BCALazy().Named("ablate")
 		if !mirror {
-			sch = mgmt.Scheme{Name: "ablate", BCAModel: true}
+			sch = mgmt.BCA().Named("ablate")
 		}
 		sys, err := core.NewSystem(core.Options{
 			Scheme:           sch,

@@ -256,6 +256,88 @@ func TestAbortProceedsWhileOperatorPaused(t *testing.T) {
 	}
 }
 
+// TestPausedMigrationAbortsWhenDestinationQuarantined: an
+// operator-paused balancing copy whose destination store is then
+// quarantined must abort-unwind cleanly — bitmap-consistent source,
+// destination extent released, balancing budget freed — rather than
+// lingering forever as a paused active entry pinned to a failing store.
+func TestPausedMigrationAbortsWhenDestinationQuarantined(t *testing.T) {
+	eng := sim.NewEngine()
+	fa := newFlaky(eng, "src", 10*sim.Microsecond)
+	fb := newFlaky(eng, "dst", 10*sim.Microsecond)
+	a := NewDatastore(fa, 0)
+	b := NewDatastore(fb, 0)
+	cfg := DefaultConfig()
+	cfg.Window = sim.Millisecond
+	cfg.MinWindowRequests = 2
+	cfg.QuarantineMinErrors = 3
+	cfg.CopyRetryBackoff = 50 * sim.Microsecond
+	mgr := NewManager(eng, cfg, LightSRM(), []*Datastore{a, b})
+	v, err := a.CreateVMDK(1, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A resident VMDK on the destination whose writes will start failing,
+	// driving b's window error rate over the quarantine threshold.
+	vb, err := b.CreateVMDK(2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.startMigration(v, b); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(30 * sim.Microsecond) // let some chunks land on b
+	if !mgr.PauseMigration(v.ID) {
+		t.Fatal("pause found no migration")
+	}
+	if v.MigratedBlocks() == 0 {
+		t.Fatal("test setup: no blocks copied before the pause")
+	}
+	// Only the resident VMDK's writes fail — the paused copy is idle, so
+	// the failing device is detected purely through foreground traffic.
+	fb.fail = func(r *trace.IORequest) bool {
+		return r.Op == trace.OpWrite && r.VMDK == vb.ID
+	}
+	p := workload.Profile{Name: "w", WriteRatio: 1.0, WriteRand: 0.5,
+		IOSize: 4096, OIO: 4, Footprint: 1 << 20}
+	r := workload.NewRunner(eng, sim.NewRNG(1), p, vb, 0)
+	r.Start()
+	mgr.Start()
+	eng.RunFor(20 * sim.Millisecond)
+	r.Stop()
+	mgr.Stop()
+	eng.Run()
+
+	st := mgr.Stats()
+	if st.Quarantines == 0 {
+		t.Fatalf("destination never quarantined: %+v", st)
+	}
+	if st.MigrationsAborted != 1 {
+		t.Fatalf("aborted = %d, want 1 (the paused copy)", st.MigrationsAborted)
+	}
+	if v.Store() != a || v.Migrating() || v.Aborting() || v.MigratedBlocks() != 0 {
+		t.Fatalf("VMDK not consistent on source after unwind: store=%s migrating=%v migrated=%d",
+			v.Store().Dev.Name(), v.Migrating(), v.MigratedBlocks())
+	}
+	for _, mig := range mgr.active {
+		if mig.v == v {
+			t.Fatal("aborted migration leaked an active entry")
+		}
+	}
+	if mgr.balancingMigrations() != 0 {
+		t.Fatal("balancing budget not released")
+	}
+	var sawReason bool
+	for _, d := range mgr.Log().Entries() {
+		if d.Kind == DecisionAbort && strings.Contains(d.Detail, "destination quarantined while copy paused") {
+			sawReason = true
+		}
+	}
+	if !sawReason {
+		t.Fatalf("decision log missing the quarantine-abort reason:\n%s", mgr.Log())
+	}
+}
+
 // TestQuarantineEvacuateReadmitLifecycle drives the full failure-aware
 // management arc: error-rate quarantine → evacuation to a healthy store →
 // probation → readmission.

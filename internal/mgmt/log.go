@@ -66,6 +66,10 @@ func (k DecisionKind) String() string {
 type Decision struct {
 	At   sim.Time
 	Kind DecisionKind
+	// Stage attributes the decision to the pipeline stage that produced
+	// it (StageNone for entries recorded outside the pipeline; those
+	// render as the bare kind).
+	Stage Stage
 	// VMDK is the subject disk (-1 for epoch entries).
 	VMDK int
 	// Src and Dst name the stores involved ("" when not applicable).
@@ -74,7 +78,8 @@ type Decision struct {
 	Detail string
 }
 
-// String renders one entry.
+// String renders one entry, prefixing the kind with its pipeline stage
+// when attributed (e.g. "plan/migrate").
 func (d Decision) String() string {
 	loc := ""
 	if d.Src != "" || d.Dst != "" {
@@ -84,7 +89,11 @@ func (d Decision) String() string {
 	if d.VMDK >= 0 {
 		id = fmt.Sprintf(" vmdk%d", d.VMDK)
 	}
-	return fmt.Sprintf("[%v] %s%s%s %s", d.At, d.Kind, id, loc, d.Detail)
+	kind := d.Kind.String()
+	if d.Stage != StageNone {
+		kind = d.Stage.String() + "/" + kind
+	}
+	return fmt.Sprintf("[%v] %s%s%s %s", d.At, kind, id, loc, d.Detail)
 }
 
 // DecisionLog is a bounded ring of manager decisions: production-length

@@ -48,6 +48,12 @@ type Config struct {
 	// recording. Default 1024 — enough to audit recent behaviour without
 	// unbounded growth on production-length runs.
 	DecisionLogCap int
+	// StageSpans, when true, emits one instant event per pipeline stage
+	// per epoch on "<track>.observe"/".plan"/".execute" and tags decision
+	// instants with their originating stage. Off by default: the extra
+	// events would break byte-for-byte comparability of traces with
+	// artifacts recorded before the pipeline decomposition.
+	StageSpans bool
 
 	// CopyRetryLimit is how many attempts each migration copy chunk gets
 	// before the whole migration aborts and unwinds. Default 4.
@@ -116,7 +122,10 @@ type Stats struct {
 	Evacuations       uint64 // migrations launched to empty quarantined stores
 }
 
-// Manager runs the storage-management loop over a set of datastores.
+// Manager drives the management pipeline over a set of datastores: each
+// epoch it runs the scheme's Observer and Planner stages, while the
+// migration engine (parameterized by the Executor stage) runs
+// continuously in between.
 type Manager struct {
 	eng    *sim.Engine
 	cfg    Config
@@ -155,7 +164,8 @@ type StorePerf struct {
 }
 
 // NewManager builds a manager. Models may be nil for schemes that never
-// consult them.
+// consult them. The scheme is normalized: nil stages get the BASIL
+// defaults, so a zero Scheme is usable.
 func NewManager(eng *sim.Engine, cfg Config, scheme Scheme, stores []*Datastore) *Manager {
 	if cfg.Tau <= 0 {
 		cfg.Tau = 0.5
@@ -199,7 +209,7 @@ func NewManager(eng *sim.Engine, cfg Config, scheme Scheme, stores []*Datastore)
 	m := &Manager{
 		eng:      eng,
 		cfg:      cfg,
-		scheme:   scheme,
+		scheme:   scheme.normalized(),
 		stores:   stores,
 		models:   make(map[device.Kind]perfmodel.Predictor),
 		history:  make(map[int][]string),
@@ -219,7 +229,9 @@ func (m *Manager) SetTracer(tr *telemetry.Tracer, track string) {
 	m.track = track
 }
 
-// logDecision records d in the ring and mirrors it to the tracer.
+// logDecision records d in the ring and mirrors it to the tracer. The
+// stage tag rides along only under Config.StageSpans — the default
+// event shape predates the pipeline decomposition and stays stable.
 func (m *Manager) logDecision(d Decision) {
 	m.log.add(d)
 	if m.tr != nil {
@@ -232,6 +244,9 @@ func (m *Manager) logDecision(d Decision) {
 		}
 		if d.Dst != "" {
 			args = append(args, telemetry.S("dst", d.Dst))
+		}
+		if m.cfg.StageSpans && d.Stage != StageNone {
+			args = append(args, telemetry.S("stage", d.Stage.String()))
 		}
 		m.tr.Instant(m.track, d.Kind.String(), "mgmt", d.At, args...)
 	}
@@ -268,7 +283,7 @@ func (m *Manager) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
 }
 
 // SetModel installs the trained performance model for a device kind
-// (required for BCA schemes on NVDIMM stores).
+// (required for schemes whose estimate stage reports NeedsModel).
 func (m *Manager) SetModel(kind device.Kind, p perfmodel.Predictor) {
 	m.models[kind] = p
 }
@@ -298,9 +313,9 @@ func (m *Manager) Stores() []*Datastore { return m.stores }
 func (m *Manager) ActiveMigrations() int { return len(m.active) }
 
 // PauseMigration stops the background copy of the given VMDK's in-flight
-// migration (I/O mirroring keeps routing writes to the destination). It
-// reports whether a matching migration was found. The pause is sticky —
-// cost/benefit re-evaluation does not override it — until
+// migration (write redirection keeps routing writes to the destination).
+// It reports whether a matching migration was found. The pause is sticky
+// — cost/benefit re-evaluation does not override it — until
 // ResumeMigration.
 func (m *Manager) PauseMigration(vmdkID int) bool {
 	for _, mig := range m.active {
@@ -338,92 +353,45 @@ func (m *Manager) Start() {
 // Stop halts the loop after the current epoch.
 func (m *Manager) Stop() { m.running = false }
 
-// perfOf computes P_d per Eq. 5: measured MP for conventional devices,
-// predicted PP for NVDIMMs under BCA schemes (the measured value would
-// wrongly attribute bus contention to the device).
-//
-// The measured OIO feature is itself contention-polluted: bus queuing
-// inflates occupancy, and feeding the inflated value to the model makes
-// it predict the (legitimately slow) quiet behaviour at that depth. The
-// de-confounded queue depth comes from a Little's-law fixed point: the
-// arrival rate λ is demand-driven, so the quiet-equivalent occupancy is
-// λ·PP, iterated to consistency and never above the measurement.
-func (m *Manager) perfOf(ds *Datastore, wc trace.WC, measuredUS float64, requests int) float64 {
-	if m.scheme.BCAModel && ds.Dev.Kind() == device.KindNVDIMM {
-		if model, ok := m.models[device.KindNVDIMM]; ok {
-			lambdaPerUS := float64(requests) / m.cfg.Window.Micros()
-			// Iterate upward from depth 1 so the fixed point found is the
-			// smallest consistent one — the quiet operating point — rather
-			// than the contention-inflated one.
-			quietWC := wc
-			if quietWC.OIOs > 1 {
-				quietWC.OIOs = 1
-			}
-			pp := model.PredictUS(quietWC)
-			for i := 0; i < 4; i++ {
-				est := lambdaPerUS * pp
-				if est > wc.OIOs {
-					est = wc.OIOs
-				}
-				quietWC.OIOs = est
-				pp = model.PredictUS(quietWC)
-			}
-			// Eq. 3 defines BC = MP − PP ≥ 0, so the contention-free
-			// estimate can never exceed the measurement.
-			if pp > measuredUS {
-				pp = measuredUS
-			}
-			return pp
-		}
-	}
-	return measuredUS
-}
-
-// epoch runs one management decision round.
+// epoch runs one management round through the pipeline: the observe
+// stage builds the per-store performance vector, the plan stage turns it
+// into decisions, and the execute stage — the migration engine those
+// decisions feed — runs continuously in between epochs, so its instant
+// here is a per-epoch snapshot rather than a discrete step.
 func (m *Manager) epoch() {
 	if !m.running {
 		return
 	}
 	m.stats.Epochs++
 
-	perfs := make([]StorePerf, 0, len(m.stores))
-	for _, ds := range m.stores {
-		wc, mp, n := ds.Mon.Window()
-		var p float64
-		if n >= m.cfg.MinWindowRequests {
-			p = m.perfOf(ds, wc, mp, n)
-		} else {
-			// Too little signal: estimate from the device technology so
-			// an idle HDD is never mistaken for a fast destination.
-			p = idleEstimateUS(ds.Dev.Kind())
+	perfs := m.scheme.Observer.Observe(m)
+	if m.stageSpans() {
+		reqs := 0
+		for i := range perfs {
+			reqs += perfs[i].Requests
 		}
-		// EWMA-smooth the decision latency across epochs.
-		if prev, ok := m.smoothed[ds]; ok {
-			p = m.cfg.SmoothingAlpha*p + (1-m.cfg.SmoothingAlpha)*prev
-		}
-		m.smoothed[ds] = p
-		perfs = append(perfs, StorePerf{
-			Store: ds, WC: wc, MeasuredUS: mp, PerfUS: p,
-			Norm: p / idleEstimateUS(ds.Dev.Kind()), Requests: n,
-		})
+		m.stageInstant(StageObserve,
+			telemetry.I("stores", int64(len(perfs))),
+			telemetry.I("requests", int64(reqs)))
 	}
 	if m.OnEpoch != nil {
 		m.OnEpoch(perfs)
 	}
 
-	// Failure scan: quarantine stores whose error rate crossed the
-	// threshold, evacuate their VMDKs, and release stores that served a
-	// full probation cleanly. Runs before balancing so a failing store is
-	// never chosen as a migration destination this epoch.
-	m.failureScan(perfs)
-
-	// Pump cost/benefit-gated migrations with fresh window data.
-	for _, mig := range m.active {
-		mig.reconsider(perfs)
-	}
-
-	if m.balancingMigrations() < m.cfg.MaxConcurrentMigrations {
-		m.detectAndMigrate(perfs)
+	started, skipped := m.stats.MigrationsStarted, m.stats.MigrationsSkipped
+	m.scheme.Planner.Plan(m, perfs)
+	if m.stageSpans() {
+		m.stageInstant(StagePlan,
+			telemetry.I("launched", int64(m.stats.MigrationsStarted-started)),
+			telemetry.I("skipped", int64(m.stats.MigrationsSkipped-skipped)))
+		inflight := 0
+		for _, mig := range m.active {
+			inflight += mig.inflight
+		}
+		m.stageInstant(StageExecute,
+			telemetry.I("active", int64(len(m.active))),
+			telemetry.I("inflight_chunks", int64(inflight)),
+			telemetry.I("bytes_copied", m.stats.BytesCopied))
 	}
 
 	for _, ds := range m.stores {
@@ -444,187 +412,6 @@ func (m *Manager) balancingMigrations() int {
 	return n
 }
 
-// failureScan implements graceful degradation: per-epoch error-rate
-// thresholding into quarantine, evacuation of quarantined stores, and
-// probation-based readmission.
-func (m *Manager) failureScan(perfs []StorePerf) {
-	for i := range perfs {
-		ds := perfs[i].Store
-		errs := ds.Mon.WindowErrors()
-		if !ds.quarantined {
-			total := errs + perfs[i].Requests
-			if errs >= m.cfg.QuarantineMinErrors && total > 0 &&
-				float64(errs)/float64(total) >= m.cfg.QuarantineErrorRate {
-				ds.quarantined = true
-				ds.quarantinedAt = m.eng.Now()
-				ds.cleanWindows = 0
-				m.stats.Quarantines++
-				m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionQuarantine,
-					VMDK: -1, Src: ds.Dev.Name(),
-					Detail: fmt.Sprintf("%d/%d window requests failed (threshold %.0f%%)",
-						errs, total, m.cfg.QuarantineErrorRate*100)})
-			}
-		} else {
-			if errs == 0 {
-				ds.cleanWindows++
-			} else {
-				ds.cleanWindows = 0
-			}
-			if ds.cleanWindows >= m.cfg.ProbationWindows {
-				ds.quarantined = false
-				m.stats.Readmissions++
-				m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionReadmit,
-					VMDK: -1, Src: ds.Dev.Name(),
-					Detail: fmt.Sprintf("probation served (%d clean windows)", m.cfg.ProbationWindows)})
-			}
-		}
-		if ds.quarantined {
-			m.evacuate(ds, perfs)
-		}
-	}
-}
-
-// evacuate launches migrations moving VMDKs off a quarantined store onto
-// the best healthy store with room, bypassing the τ/hysteresis/
-// cost-benefit gates — leaving a failing device is not an optimization
-// decision. Evacuations count against their own concurrency budget.
-func (m *Manager) evacuate(ds *Datastore, perfs []StorePerf) {
-	evacs := 0
-	for _, mig := range m.active {
-		if mig.evac {
-			evacs++
-		}
-	}
-	for _, v := range ds.VMDKs() {
-		if evacs >= m.cfg.MaxConcurrentEvacuations {
-			return
-		}
-		if v.Migrating() {
-			continue
-		}
-		var dst *Datastore
-		var dstPerf float64
-		for i := range perfs {
-			cand := perfs[i].Store
-			if cand == ds || cand.quarantined || cand.Free() < v.Size {
-				continue
-			}
-			if dst == nil || perfs[i].PerfUS < dstPerf {
-				dst = cand
-				dstPerf = perfs[i].PerfUS
-			}
-		}
-		if dst == nil {
-			return // nowhere healthy to go; retry next epoch
-		}
-		if err := m.startMigration(v, dst); err != nil {
-			continue
-		}
-		mig := m.active[len(m.active)-1]
-		mig.evac = true
-		evacs++
-		m.stats.Evacuations++
-		m.stats.MigrationsStarted++
-		v.lastMoveEpoch = m.stats.Epochs
-		m.recordMove(v, ds, dst)
-		m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionEvacuate, VMDK: v.ID,
-			Src: ds.Dev.Name(), Dst: dst.Dev.Name(),
-			Detail: fmt.Sprintf("evacuating quarantined store (dst %.0fus)", dstPerf)})
-	}
-}
-
-// idleEstimateUS is the decision latency assumed for a store with too
-// little window traffic to measure: the characteristic lightly-loaded
-// latency of the technology (Table 1 shapes).
-func idleEstimateUS(k device.Kind) float64 {
-	switch k {
-	case device.KindNVDIMM:
-		return 100
-	case device.KindSSD:
-		return 350
-	default: // HDD
-		return 8000
-	}
-}
-
-// detectAndMigrate implements §5.1.2: find max/min stores, check τ, pick a
-// candidate VMDK, and launch the migration. The overloaded side only
-// considers stores that actually hold active VMDKs; the destination side
-// considers every store (idle ones use the technology estimate).
-func (m *Manager) detectAndMigrate(perfs []StorePerf) {
-	var maxP, minP *StorePerf
-	for i := range perfs {
-		p := &perfs[i]
-		if p.Store.Quarantined() {
-			// Failure-quarantined stores are handled by evacuation; they
-			// are neither a load-balancing source nor a destination.
-			continue
-		}
-		if p.Store.NumVMDKs() > 0 && p.Requests >= m.cfg.MinWindowRequests {
-			if maxP == nil || p.Norm > maxP.Norm {
-				maxP = p
-			}
-		}
-		// Destination: lowest *absolute* expected latency — a lightly
-		// loaded slow device is still a bad home for hot data.
-		if minP == nil || p.PerfUS < minP.PerfUS {
-			minP = p
-		}
-	}
-	if maxP == nil || minP == nil || maxP == minP {
-		return
-	}
-	delta := maxP.Norm - minP.Norm
-	if maxP.Norm <= 0 || delta/maxP.Norm <= m.cfg.Tau {
-		m.imbalanceRun = 0
-		return
-	}
-	m.imbalanceRun++
-	if m.imbalanceRun < m.cfg.DebounceWindows {
-		return
-	}
-	src, dst := maxP.Store, minP.Store
-
-	// Candidate: the busiest non-migrating VMDK on the overloaded store
-	// that fits on the destination, excluding recent movers (hysteresis).
-	var cand *VMDK
-	for _, v := range src.VMDKs() {
-		if v.Migrating() || v.Size > dst.Free() {
-			continue
-		}
-		if m.stats.Epochs-v.lastMoveEpoch < m.cfg.MinResidenceWindows && v.lastMoveEpoch > 0 {
-			continue
-		}
-		if cand == nil || v.windowRequests > cand.windowRequests {
-			cand = v
-		}
-	}
-	if cand == nil || cand.windowRequests == 0 {
-		return
-	}
-
-	// Pesto-style gate: without mirroring, cost/benefit decides whether
-	// the migration is worth starting at all.
-	if m.scheme.CostBenefit && !m.scheme.Mirroring {
-		cost, benefit := m.costBenefit(cand, maxP, minP, cand.Size)
-		if benefit <= cost {
-			m.stats.MigrationsSkipped++
-			m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionSkip, VMDK: cand.ID,
-				Src: src.Dev.Name(), Dst: dst.Dev.Name(),
-				Detail: fmt.Sprintf("cost %.0fus > benefit %.0fus", cost, benefit)})
-			return
-		}
-	}
-	if err := m.startMigration(cand, dst); err == nil {
-		m.stats.MigrationsStarted++
-		cand.lastMoveEpoch = m.stats.Epochs
-		m.recordMove(cand, src, dst)
-		m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionMigrate, VMDK: cand.ID,
-			Src: src.Dev.Name(), Dst: dst.Dev.Name(),
-			Detail: fmt.Sprintf("norm %.1f vs %.1f (tau %.2f)", maxP.Norm, minP.Norm, m.cfg.Tau)})
-	}
-}
-
 // recordMove tracks placement history for ping-pong detection.
 func (m *Manager) recordMove(v *VMDK, src, dst *Datastore) {
 	h := m.history[v.ID]
@@ -635,117 +422,6 @@ func (m *Manager) recordMove(v *VMDK, src, dst *Datastore) {
 		}
 	}
 	m.history[v.ID] = append(h, src.Dev.Name())
-}
-
-// costBenefit evaluates Eq. 6 and Eq. 7 for moving v from src to dst,
-// with remaining bytes still to copy. Per-unit latencies are the
-// per-4KB-scaled P_d values; bus-contention terms come from MP − PP on
-// NVDIMM stores when a model is available.
-func (m *Manager) costBenefit(v *VMDK, src, dst *StorePerf, remaining int64) (costUS, benefitUS float64) {
-	unit := func(p StorePerf) float64 {
-		ios := p.WC.IOSize
-		if ios < BlockSize {
-			ios = BlockSize
-		}
-		return p.PerfUS * BlockSize / ios
-	}
-	bc := func(p StorePerf) float64 {
-		if p.Store.Dev.Kind() != device.KindNVDIMM {
-			return 0
-		}
-		model, ok := m.models[device.KindNVDIMM]
-		if !ok {
-			return 0
-		}
-		d := p.MeasuredUS - model.PredictUS(p.WC)
-		if d < 0 {
-			return 0
-		}
-		ios := p.WC.IOSize
-		if ios < BlockSize {
-			ios = BlockSize
-		}
-		return d * BlockSize / ios
-	}
-
-	qMig := float64(remaining) / BlockSize
-	costUS = qMig * (unit(*src) + unit(*dst) + bc(*src) + bc(*dst))
-
-	// Benefit (Eq. 7): per-request latency gain for the candidate's
-	// stream once it runs at the destination, accrued over every request
-	// it will issue across the benefit horizon. The destination's
-	// post-migration latency is approximated by its current per-request
-	// latency bumped by the share of load that moves; an idle or barely
-	// loaded destination uses the technology estimate already folded into
-	// PerfUS.
-	share := 0.0
-	if total := src.Store.WindowLoad(); total > 0 {
-		share = float64(v.windowRequests) / float64(total)
-	}
-	dstAfter := dst.PerfUS * (1 + share)
-	gain := src.PerfUS - dstAfter
-	if gain < 0 {
-		gain = 0
-	}
-	benefitUS = gain * float64(v.windowRequests) * float64(m.cfg.BenefitHorizonWindows)
-	return costUS, benefitUS
-}
-
-// startMigration allocates the destination extent and begins copying.
-func (m *Manager) startMigration(v *VMDK, dst *Datastore) error {
-	base, err := dst.allocExtent(v.Size)
-	if err != nil {
-		return err
-	}
-	v.beginMigration(dst, base, m.scheme.Mirroring)
-	mig := newMigration(m, v, v.src, dst)
-	m.active = append(m.active, mig)
-	mig.pump()
-	return nil
-}
-
-// migrationAborted removes an unwound migration from the active set. The
-// abort itself (and its reason) was logged when the unwind began; this
-// logs the unwind's completion.
-func (m *Manager) migrationAborted(mig *Migration) {
-	for i, a := range m.active {
-		if a == mig {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			break
-		}
-	}
-	m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionAbort, VMDK: mig.v.ID,
-		Src: mig.src.Dev.Name(), Dst: mig.dst.Dev.Name(),
-		Detail: fmt.Sprintf("unwind complete in %v; VMDK consistent on source", mig.finishedAt-mig.startedAt)})
-	if m.tr != nil {
-		m.tr.Complete(m.track+".mig", fmt.Sprintf("vmdk%d!abort", mig.v.ID), "migration",
-			mig.startedAt, mig.finishedAt,
-			telemetry.S("src", mig.src.Dev.Name()), telemetry.S("dst", mig.dst.Dev.Name()))
-	}
-}
-
-// migrationDone removes the finished migration and records stats.
-func (m *Manager) migrationDone(mig *Migration) {
-	for i, a := range m.active {
-		if a == mig {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			break
-		}
-	}
-	m.stats.MigrationsCompleted++
-	// BytesCopied accrues per chunk as copies land (partial migrations
-	// count); only the mirrored complement is known at completion.
-	m.stats.BytesMirrored += mig.mirroredBytes()
-	m.stats.MigrationTime += mig.finishedAt - mig.startedAt
-	m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionComplete, VMDK: mig.v.ID,
-		Src: mig.src.Dev.Name(), Dst: mig.dst.Dev.Name(),
-		Detail: fmt.Sprintf("copied %dMB in %v", mig.copiedBytes>>20, mig.finishedAt-mig.startedAt)})
-	if m.tr != nil {
-		m.tr.Complete(m.track+".mig", fmt.Sprintf("vmdk%d", mig.v.ID), "migration",
-			mig.startedAt, mig.finishedAt,
-			telemetry.S("src", mig.src.Dev.Name()), telemetry.S("dst", mig.dst.Dev.Name()),
-			telemetry.I("copied_bytes", mig.copiedBytes))
-	}
 }
 
 // PlaceVMDK implements the §5.1.1 initial placement (Eq. 4): choose the
@@ -775,20 +451,11 @@ func (m *Manager) PlaceVMDK(size int64, est trace.WC) (*VMDK, error) {
 		if ds.Free() < size {
 			continue
 		}
-		// Predicted performance of ds with the new VMDK: model-based for
-		// NVDIMM under BCA, otherwise the store's current decision
-		// latency (idle stores already carry the technology estimate).
-		withNew := perfs[i]
-		if m.scheme.BCAModel && ds.Dev.Kind() == device.KindNVDIMM {
-			if model, ok := m.models[device.KindNVDIMM]; ok {
-				merged := est
-				cur, _, n := ds.Mon.Window()
-				if n > 0 {
-					merged.OIOs += cur.OIOs
-				}
-				withNew = model.PredictUS(merged)
-			}
-		}
+		// Predicted performance of ds with the new VMDK folded in: the
+		// scheme's estimate stage decides whether a model prediction or
+		// the store's current decision latency is used (idle stores
+		// already carry the technology estimate).
+		withNew := m.scheme.Estimator.PlacementUS(m, ds, perfs[i], est)
 		// Eq. 4: average across devices with candidate i replaced.
 		sum := 0.0
 		for j := range perfs {
@@ -832,7 +499,7 @@ func (m *Manager) PlaceVMDK(size int64, est trace.WC) (*VMDK, error) {
 	m.nextVMDKID++
 	v, err := cands[best].ds.CreateVMDK(m.nextVMDKID, size)
 	if err == nil {
-		m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionPlace, VMDK: v.ID,
+		m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionPlace, Stage: StagePlan, VMDK: v.ID,
 			Dst:    cands[best].ds.Dev.Name(),
 			Detail: fmt.Sprintf("avg system perf %.0fus (Eq. 4)", cands[best].avg)})
 	}

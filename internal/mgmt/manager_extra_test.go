@@ -142,7 +142,7 @@ func TestHysteresisBlocksRecentMover(t *testing.T) {
 		{Store: n.dss[2], PerfUS: 9000, Norm: 10, Requests: 10},
 	}
 	mgr.cfg.DebounceWindows = 1
-	mgr.detectAndMigrate(perfs)
+	BalancePlanner{}.Plan(mgr, perfs)
 	if mgr.Stats().MigrationsStarted != 0 {
 		t.Fatal("hysteresis ignored: recent mover re-migrated")
 	}

@@ -1,6 +1,7 @@
 package mgmt
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/bus"
@@ -306,17 +307,52 @@ func TestSchemeDefinitions(t *testing.T) {
 	if len(all) != 6 {
 		t.Fatalf("schemes = %d", len(all))
 	}
-	if !Full().ArchTagging || !Full().Mirroring || !Full().BCAModel || !Full().CostBenefit {
+	full := Full()
+	if !full.NeedsModel() || !full.Executor.Redirect() || !full.Executor.GateCopies() ||
+		full.Executor.Class() != trace.ClassMigrated {
 		t.Fatal("Full scheme incomplete")
 	}
-	if BASIL().CostBenefit || BASIL().Mirroring || BASIL().BCAModel {
+	basil := BASIL()
+	if basil.NeedsModel() || basil.Executor.Redirect() || basil.Executor.GateCopies() ||
+		basil.Executor.Class() != trace.ClassNormal {
 		t.Fatal("BASIL should be bare")
 	}
-	if Pesto().Mirroring || !Pesto().CostBenefit {
+	if !reflect.DeepEqual(basil.Planner, DefaultPlanners(false)) {
+		t.Fatal("BASIL should not gate proposals")
+	}
+	pesto := Pesto()
+	if pesto.Executor.Redirect() || !reflect.DeepEqual(pesto.Planner, DefaultPlanners(true)) {
 		t.Fatal("Pesto misdefined")
 	}
-	if !LightSRM().Mirroring {
+	lsrm := LightSRM()
+	if !lsrm.Executor.Redirect() || !lsrm.Executor.GateCopies() || lsrm.NeedsModel() {
 		t.Fatal("LightSRM misdefined")
+	}
+	if !BCA().NeedsModel() || BCA().Executor.Redirect() {
+		t.Fatal("BCA misdefined")
+	}
+	if !BCALazy().NeedsModel() || !BCALazy().Executor.Redirect() ||
+		BCALazy().Executor.Class() != trace.ClassNormal {
+		t.Fatal("BCA+Lazy misdefined")
+	}
+}
+
+func TestSchemeNormalizedAndDescribe(t *testing.T) {
+	var zero Scheme
+	if !reflect.DeepEqual(zero.normalized().Named("BASIL"), BASIL()) {
+		t.Fatal("zero scheme should normalize to the BASIL composition")
+	}
+	if got := Full().Describe(); got != "observe=ewma est=contention-aware plan=failure,regate,balance exec=redirect+gate+tag" {
+		t.Fatalf("Full().Describe() = %q", got)
+	}
+	if got := Pesto().Describe(); got != "observe=ewma est=measured plan=failure,regate,balance(gated) exec=copy" {
+		t.Fatalf("Pesto().Describe() = %q", got)
+	}
+	if BASIL().Named("x").Name != "x" {
+		t.Fatal("Named should relabel")
+	}
+	if Full().MigratedClass() != trace.ClassMigrated || BASIL().MigratedClass() != trace.ClassNormal {
+		t.Fatal("MigratedClass mismatch")
 	}
 }
 

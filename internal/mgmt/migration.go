@@ -7,14 +7,16 @@ import (
 	"repro/internal/trace"
 )
 
-// Migration is one in-flight VMDK move: a background copy engine that
-// walks the bitmap, skipping blocks already satisfied by write
-// mirroring, with optional per-epoch cost/benefit gating (§5.2).
+// Migration is one in-flight VMDK move — the pipeline's execute stage at
+// work: a background copy engine that walks the bitmap, skipping blocks
+// already satisfied by write redirection, with optional per-epoch
+// cost/benefit gating (§5.2). Which of those mechanisms engage is
+// decided by the scheme's Executor (executor.go).
 //
 // Every copy stage (source read, cross-node transfer, destination write)
 // can fail under fault injection. A failed chunk retries with exponential
 // backoff up to Config.CopyRetryLimit attempts; exhausting the budget
-// aborts the whole migration: mirroring is switched off, and the engine
+// aborts the whole migration: redirection is switched off, and the engine
 // walks the bitmap copying migrated blocks *back* to the source, leaving
 // the VMDK fully consistent at its original location.
 type Migration struct {
@@ -49,12 +51,10 @@ func (g *Migration) mirroredBytes() int64 {
 	return g.v.Blocks()*BlockSize - g.copiedBytes
 }
 
-// class returns the request class migration traffic carries.
+// class returns the request class migration traffic carries, per the
+// scheme's execute stage (§5.3 arch tagging).
 func (g *Migration) class() trace.Class {
-	if g.mgr.scheme.ArchTagging {
-		return trace.ClassMigrated
-	}
-	return trace.ClassNormal
+	return g.mgr.scheme.Executor.Class()
 }
 
 // Evacuation reports whether this migration is a quarantine evacuation.
@@ -63,12 +63,13 @@ func (g *Migration) Evacuation() bool { return g.evac }
 // Aborting reports whether this migration is unwinding.
 func (g *Migration) Aborting() bool { return g.aborting }
 
-// reconsider re-evaluates the cost/benefit gate with fresh epoch data
-// (lazy migration only pauses the *copy*; mirroring continues always).
+// regate re-evaluates the cost/benefit gate with fresh epoch data (lazy
+// migration only pauses the *copy*; write redirection continues always).
+// Schemes whose execute stage does not gate copies skip this entirely.
 // Evacuations and aborts are never gated: both are safety unwinds, not
 // optimizations.
-func (g *Migration) reconsider(perfs []StorePerf) {
-	if g.completed || g.aborting || g.evac || !g.mgr.scheme.CostBenefit || !g.mgr.scheme.Mirroring {
+func (g *Migration) regate(perfs []StorePerf) {
+	if g.completed || g.aborting || g.evac || !g.mgr.scheme.Executor.GateCopies() {
 		return
 	}
 	var srcP, dstP *StorePerf
@@ -149,14 +150,14 @@ func (g *Migration) backoff(attempt int) sim.Time {
 // attemptChunk runs one forward-copy attempt: source read → cross-node
 // transfer → destination write, marking blocks migrated on success. Any
 // stage failure retries the chunk with backoff; exhausting the budget
-// aborts the migration. Blocks that a mirrored write migrates while the
+// aborts the migration. Blocks that a redirected write migrates while the
 // copy is in flight are detected at write time and not overwritten (the
 // §5.3.1 same-location discard handles the device-level race; here the
 // block simply stays marked). The caller has already counted the chunk in
 // g.inflight.
 func (g *Migration) attemptChunk(blocks []int64, attempt int) {
-	// Mirroring may have satisfied blocks while we backed off; re-filter
-	// so retries shrink instead of re-copying mirrored data.
+	// Redirected writes may have satisfied blocks while we backed off;
+	// re-filter so retries shrink instead of re-copying redirected data.
 	live := blocks[:0]
 	for _, b := range blocks {
 		if !g.v.blockMigrated(b) {
@@ -248,7 +249,7 @@ func (g *Migration) attemptChunk(blocks []int64, attempt int) {
 }
 
 // abort begins the clean unwind after the retry budget is exhausted:
-// mirroring stops, fresh writes land on the source, and migrated blocks
+// redirection stops, fresh writes land on the source, and migrated blocks
 // copy back from the destination. Forward chunks still in flight complete
 // harmlessly — their blocks stay bitmap-unmarked, so the source remains
 // authoritative for them.
@@ -261,7 +262,7 @@ func (g *Migration) abort(reason string) {
 	g.mgr.stats.MigrationsAborted++
 	g.v.beginAbort()
 	g.abortCursor = 0
-	g.mgr.logDecision(Decision{At: g.mgr.eng.Now(), Kind: DecisionAbort, VMDK: g.v.ID,
+	g.mgr.logDecision(Decision{At: g.mgr.eng.Now(), Kind: DecisionAbort, Stage: StageExecute, VMDK: g.v.ID,
 		Src: g.src.Dev.Name(), Dst: g.dst.Dev.Name(),
 		Detail: "unwinding: " + reason})
 	g.pumpAbort()
@@ -411,7 +412,7 @@ func (g *Migration) maybeFinish() {
 	}
 	if g.v.MigratedBlocks() < g.v.Blocks() {
 		if g.cursor >= g.v.Blocks() && !g.paused {
-			// The cursor passed blocks that mirroring has not written;
+			// The cursor passed blocks that redirection has not written;
 			// rescan for the stragglers.
 			g.cursor = 0
 			if g.nextChunkPeek() {

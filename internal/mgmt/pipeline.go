@@ -1,0 +1,114 @@
+package mgmt
+
+import (
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// This file defines the management pipeline's stage contracts. Every
+// epoch the Manager drives the stages in a fixed order: the Observer
+// collects each store's window into a performance vector (consulting the
+// scheme's PerfEstimator for the Eq. 5 decision latency), the Planner
+// turns that vector into decisions — quarantine/evacuation, in-flight
+// copy re-gating, τ-imbalance balancing — and the Executor is the
+// migration mechanism those decisions launch, running continuously
+// between epochs. A Scheme (scheme.go) is a named composition of stage
+// implementations; swapping one stage is how a new estimator or policy
+// enters the system without touching the loop.
+
+// Stage identifies a pipeline stage, for decision-log attribution and
+// the optional per-stage telemetry spans (Config.StageSpans).
+type Stage uint8
+
+const (
+	// StageNone marks a decision recorded outside the pipeline (legacy
+	// or external callers); it renders as the bare decision kind.
+	StageNone Stage = iota
+	// StageObserve is the window-collection stage.
+	StageObserve
+	// StagePlan is the decision stage (failure pre-pass, copy re-gating,
+	// balancing, and initial placement).
+	StagePlan
+	// StageExecute is the migration copy engine.
+	StageExecute
+)
+
+// String names the stage ("" for StageNone).
+func (s Stage) String() string {
+	switch s {
+	case StageObserve:
+		return "observe"
+	case StagePlan:
+		return "plan"
+	case StageExecute:
+		return "execute"
+	default:
+		return ""
+	}
+}
+
+// Observer is the first pipeline stage: it reads every store's window
+// monitor and produces the epoch's per-store performance vector. The
+// Manager passes itself in; implementations are stateless values
+// (Scheme is copied freely), so any cross-epoch state they need — the
+// EWMA memory, for instance — lives on the Manager or the Datastore.
+type Observer interface {
+	// Observe builds one epoch's StorePerf vector, in store order.
+	Observe(m *Manager) []StorePerf
+}
+
+// PerfEstimator produces the per-store decision latency P_d of Eq. 5,
+// and the with-new-VMDK prediction initial placement needs (Eq. 4). The
+// Observer calls EstimateUS only when the window has enough signal
+// (Config.MinWindowRequests); idle stores use the technology estimate.
+type PerfEstimator interface {
+	// EstimateUS returns P_d for a store given its window
+	// characterization, measured mean latency, and request count.
+	EstimateUS(m *Manager, ds *Datastore, wc trace.WC, measuredUS float64, requests int) float64
+	// PlacementUS predicts the store's latency with a new VMDK of the
+	// given estimated characterization added (Eq. 4); currentUS is the
+	// store's present decision latency.
+	PlacementUS(m *Manager, ds *Datastore, currentUS float64, est trace.WC) float64
+	// NeedsModel reports whether the estimator consults a trained
+	// performance model (the System trains one at assembly when true).
+	NeedsModel() bool
+}
+
+// Planner is the decision stage: given the epoch's performance vector it
+// decides what moves, launching work through the Manager's migration
+// engine. Planners compose (see Planners); the canonical chain is the
+// failure pre-pass, then in-flight copy re-gating, then balancing.
+type Planner interface {
+	// Plan runs one epoch's decisions.
+	Plan(m *Manager, perfs []StorePerf)
+}
+
+// Executor selects the migration mechanism the planner launches: eager
+// full copy versus §5.2 write redirection, per-epoch copy gating, and
+// the §5.3 traffic class migration I/O carries.
+type Executor interface {
+	// Redirect reports whether upcoming writes are redirected to the
+	// destination instead of being copied (§5.2).
+	Redirect() bool
+	// GateCopies reports whether the background copy re-runs the
+	// Eq. 6–7 gate every epoch (lazy migration's pause/resume).
+	GateCopies() bool
+	// Class returns the request class migration traffic carries;
+	// ClassMigrated engages the §5.3 architectural optimizations.
+	Class() trace.Class
+}
+
+// stageInstant emits one instant event for a pipeline stage on the
+// track "<track>.<stage>". Gated by Config.StageSpans, which is off by
+// default: stage spans add events to traces, which would break
+// byte-for-byte comparability with artifacts recorded before the
+// pipeline decomposition (the golden-digest contract).
+func (m *Manager) stageInstant(s Stage, args ...telemetry.Arg) {
+	if !m.stageSpans() {
+		return
+	}
+	m.tr.Instant(m.track+"."+s.String(), s.String(), "mgmt.stage", m.eng.Now(), args...)
+}
+
+// stageSpans reports whether per-stage telemetry is armed.
+func (m *Manager) stageSpans() bool { return m.tr != nil && m.cfg.StageSpans }

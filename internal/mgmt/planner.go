@@ -1,0 +1,292 @@
+package mgmt
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// Planners chains sub-planners into one plan stage; each runs in order
+// every epoch. Order matters for determinism and correctness: the
+// canonical chain runs the failure pre-pass first (so a failing store is
+// never chosen as a destination this epoch), then re-gates in-flight
+// copies with fresh window data, then balances — launches from the
+// balancing pass are deliberately not re-gated until the next epoch.
+type Planners []Planner
+
+// Plan runs each sub-planner in order.
+func (ps Planners) Plan(m *Manager, perfs []StorePerf) {
+	for _, p := range ps {
+		p.Plan(m, perfs)
+	}
+}
+
+// DefaultPlanners is the canonical epoch decision chain: failure
+// pre-pass, in-flight copy re-gating, then τ-imbalance balancing with
+// the proposal-time Eq. 6–7 gate armed or not.
+func DefaultPlanners(gateProposals bool) Planners {
+	return Planners{FailurePlanner{}, GatePlanner{}, BalancePlanner{GateProposals: gateProposals}}
+}
+
+// FailurePlanner is the composable failure pre-pass: per-epoch
+// error-rate thresholding into quarantine, evacuation of quarantined
+// stores, and probation-based readmission (graceful degradation). It
+// also aborts operator-paused copies whose destination was quarantined —
+// a paused copy cannot make progress off a failing device, and leaving
+// it active would pin the balancing budget forever.
+type FailurePlanner struct{}
+
+// Plan scans every store's window error rate and acts on transitions.
+func (FailurePlanner) Plan(m *Manager, perfs []StorePerf) {
+	for i := range perfs {
+		ds := perfs[i].Store
+		errs := ds.Mon.WindowErrors()
+		if !ds.quarantined {
+			total := errs + perfs[i].Requests
+			if errs >= m.cfg.QuarantineMinErrors && total > 0 &&
+				float64(errs)/float64(total) >= m.cfg.QuarantineErrorRate {
+				ds.quarantined = true
+				ds.quarantinedAt = m.eng.Now()
+				ds.cleanWindows = 0
+				m.stats.Quarantines++
+				m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionQuarantine, Stage: StagePlan,
+					VMDK: -1, Src: ds.Dev.Name(),
+					Detail: fmt.Sprintf("%d/%d window requests failed (threshold %.0f%%)",
+						errs, total, m.cfg.QuarantineErrorRate*100)})
+			}
+		} else {
+			if errs == 0 {
+				ds.cleanWindows++
+			} else {
+				ds.cleanWindows = 0
+			}
+			if ds.cleanWindows >= m.cfg.ProbationWindows {
+				ds.quarantined = false
+				m.stats.Readmissions++
+				m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionReadmit, Stage: StagePlan,
+					VMDK: -1, Src: ds.Dev.Name(),
+					Detail: fmt.Sprintf("probation served (%d clean windows)", m.cfg.ProbationWindows)})
+			}
+		}
+		if ds.quarantined {
+			m.evacuate(ds, perfs)
+		}
+	}
+	// An operator-paused balancing copy whose destination just entered
+	// quarantine can never finish (the copy is stopped and the target is
+	// failing): unwind it so the source stays authoritative and the
+	// balancing budget is released. Snapshot the active set — an abort
+	// with nothing copied yet completes synchronously and edits it.
+	for _, mig := range append([]*Migration(nil), m.active...) {
+		if mig.opPaused && !mig.aborting && !mig.completed && mig.dst.quarantined {
+			mig.abort("destination quarantined while copy paused")
+		}
+	}
+}
+
+// evacuate launches migrations moving VMDKs off a quarantined store onto
+// the best healthy store with room, bypassing the τ/hysteresis/
+// cost-benefit gates — leaving a failing device is not an optimization
+// decision. Evacuations count against their own concurrency budget.
+func (m *Manager) evacuate(ds *Datastore, perfs []StorePerf) {
+	evacs := 0
+	for _, mig := range m.active {
+		if mig.evac {
+			evacs++
+		}
+	}
+	for _, v := range ds.VMDKs() {
+		if evacs >= m.cfg.MaxConcurrentEvacuations {
+			return
+		}
+		if v.Migrating() {
+			continue
+		}
+		var dst *Datastore
+		var dstPerf float64
+		for i := range perfs {
+			cand := perfs[i].Store
+			if cand == ds || cand.quarantined || cand.Free() < v.Size {
+				continue
+			}
+			if dst == nil || perfs[i].PerfUS < dstPerf {
+				dst = cand
+				dstPerf = perfs[i].PerfUS
+			}
+		}
+		if dst == nil {
+			return // nowhere healthy to go; retry next epoch
+		}
+		if err := m.startMigration(v, dst); err != nil {
+			continue
+		}
+		mig := m.active[len(m.active)-1]
+		mig.evac = true
+		evacs++
+		m.stats.Evacuations++
+		m.stats.MigrationsStarted++
+		v.lastMoveEpoch = m.stats.Epochs
+		m.recordMove(v, ds, dst)
+		m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionEvacuate, Stage: StagePlan, VMDK: v.ID,
+			Src: ds.Dev.Name(), Dst: dst.Dev.Name(),
+			Detail: fmt.Sprintf("evacuating quarantined store (dst %.0fus)", dstPerf)})
+	}
+}
+
+// GatePlanner re-evaluates the Eq. 6–7 gate for in-flight copies with
+// fresh window data (§5.2 lazy migration pauses only the background
+// copy; write redirection continues regardless). Schemes whose executor
+// does not gate copies make this a no-op.
+type GatePlanner struct{}
+
+// Plan re-gates every active migration.
+func (GatePlanner) Plan(m *Manager, perfs []StorePerf) {
+	for _, mig := range m.active {
+		mig.regate(perfs)
+	}
+}
+
+// BalancePlanner implements §5.1.2 load balancing: find the max/min
+// stores, check the imbalance threshold τ with debouncing, pick the
+// busiest candidate VMDK under the hysteresis rules, and launch the
+// migration. The overloaded side only considers stores that actually
+// hold active VMDKs; the destination side considers every store (idle
+// ones use the technology estimate).
+type BalancePlanner struct {
+	// GateProposals applies the Eq. 6–7 Benefit > Cost test when the
+	// migration is proposed (the Pesto baseline): without write
+	// redirection the whole copy either starts or it does not.
+	GateProposals bool
+}
+
+// Plan runs one balancing pass, respecting MaxConcurrentMigrations.
+func (p BalancePlanner) Plan(m *Manager, perfs []StorePerf) {
+	if m.balancingMigrations() >= m.cfg.MaxConcurrentMigrations {
+		return
+	}
+	var maxP, minP *StorePerf
+	for i := range perfs {
+		sp := &perfs[i]
+		if sp.Store.Quarantined() {
+			// Failure-quarantined stores are handled by evacuation; they
+			// are neither a load-balancing source nor a destination.
+			continue
+		}
+		if sp.Store.NumVMDKs() > 0 && sp.Requests >= m.cfg.MinWindowRequests {
+			if maxP == nil || sp.Norm > maxP.Norm {
+				maxP = sp
+			}
+		}
+		// Destination: lowest *absolute* expected latency — a lightly
+		// loaded slow device is still a bad home for hot data.
+		if minP == nil || sp.PerfUS < minP.PerfUS {
+			minP = sp
+		}
+	}
+	if maxP == nil || minP == nil || maxP == minP {
+		return
+	}
+	delta := maxP.Norm - minP.Norm
+	if maxP.Norm <= 0 || delta/maxP.Norm <= m.cfg.Tau {
+		m.imbalanceRun = 0
+		return
+	}
+	m.imbalanceRun++
+	if m.imbalanceRun < m.cfg.DebounceWindows {
+		return
+	}
+	src, dst := maxP.Store, minP.Store
+
+	// Candidate: the busiest non-migrating VMDK on the overloaded store
+	// that fits on the destination, excluding recent movers (hysteresis).
+	var cand *VMDK
+	for _, v := range src.VMDKs() {
+		if v.Migrating() || v.Size > dst.Free() {
+			continue
+		}
+		if m.stats.Epochs-v.lastMoveEpoch < m.cfg.MinResidenceWindows && v.lastMoveEpoch > 0 {
+			continue
+		}
+		if cand == nil || v.windowRequests > cand.windowRequests {
+			cand = v
+		}
+	}
+	if cand == nil || cand.windowRequests == 0 {
+		return
+	}
+
+	// Proposal-time gate: without write redirection, cost/benefit
+	// decides whether the migration is worth starting at all.
+	if p.GateProposals {
+		cost, benefit := m.costBenefit(cand, maxP, minP, cand.Size)
+		if benefit <= cost {
+			m.stats.MigrationsSkipped++
+			m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionSkip, Stage: StagePlan, VMDK: cand.ID,
+				Src: src.Dev.Name(), Dst: dst.Dev.Name(),
+				Detail: fmt.Sprintf("cost %.0fus > benefit %.0fus", cost, benefit)})
+			return
+		}
+	}
+	if err := m.startMigration(cand, dst); err == nil {
+		m.stats.MigrationsStarted++
+		cand.lastMoveEpoch = m.stats.Epochs
+		m.recordMove(cand, src, dst)
+		m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionMigrate, Stage: StagePlan, VMDK: cand.ID,
+			Src: src.Dev.Name(), Dst: dst.Dev.Name(),
+			Detail: fmt.Sprintf("norm %.1f vs %.1f (tau %.2f)", maxP.Norm, minP.Norm, m.cfg.Tau)})
+	}
+}
+
+// costBenefit evaluates Eq. 6 and Eq. 7 for moving v from src to dst,
+// with remaining bytes still to copy. Per-unit latencies are the
+// per-4KB-scaled P_d values; bus-contention terms come from MP − PP on
+// NVDIMM stores when a model is available.
+func (m *Manager) costBenefit(v *VMDK, src, dst *StorePerf, remaining int64) (costUS, benefitUS float64) {
+	unit := func(p StorePerf) float64 {
+		ios := p.WC.IOSize
+		if ios < BlockSize {
+			ios = BlockSize
+		}
+		return p.PerfUS * BlockSize / ios
+	}
+	bc := func(p StorePerf) float64 {
+		if p.Store.Dev.Kind() != device.KindNVDIMM {
+			return 0
+		}
+		model, ok := m.models[device.KindNVDIMM]
+		if !ok {
+			return 0
+		}
+		d := p.MeasuredUS - model.PredictUS(p.WC)
+		if d < 0 {
+			return 0
+		}
+		ios := p.WC.IOSize
+		if ios < BlockSize {
+			ios = BlockSize
+		}
+		return d * BlockSize / ios
+	}
+
+	qMig := float64(remaining) / BlockSize
+	costUS = qMig * (unit(*src) + unit(*dst) + bc(*src) + bc(*dst))
+
+	// Benefit (Eq. 7): per-request latency gain for the candidate's
+	// stream once it runs at the destination, accrued over every request
+	// it will issue across the benefit horizon. The destination's
+	// post-migration latency is approximated by its current per-request
+	// latency bumped by the share of load that moves; an idle or barely
+	// loaded destination uses the technology estimate already folded into
+	// PerfUS.
+	share := 0.0
+	if total := src.Store.WindowLoad(); total > 0 {
+		share = float64(v.windowRequests) / float64(total)
+	}
+	dstAfter := dst.PerfUS * (1 + share)
+	gain := src.PerfUS - dstAfter
+	if gain < 0 {
+		gain = 0
+	}
+	benefitUS = gain * float64(v.windowRequests) * float64(m.cfg.BenefitHorizonWindows)
+	return costUS, benefitUS
+}
