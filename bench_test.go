@@ -321,11 +321,86 @@ func BenchmarkFig9Schedule(b *testing.B) {
 	}
 }
 
+// benchEngineRecord is the schema of BENCH_engine.json: the raw cost of
+// the discrete-event hot path (At/Step through a self-rescheduling timer
+// wheel), with the engine's own profiling counters enabled so the record
+// reflects the instrumented path that real runs with profiling pay.
+type benchEngineRecord struct {
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Timers        int     `json:"timers"`
+	Events        uint64  `json:"events"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	NsPerEvent    float64 `json:"ns_per_event"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	HeapPushes    uint64  `json:"heap_pushes"`
+	HeapPops      uint64  `json:"heap_pops"`
+	MaxTimerDepth int     `json:"max_timer_depth"`
+}
+
+// BenchmarkEngineHotPath measures the event loop itself: a wheel of
+// self-rescheduling timers with coprime periods (so the heap order churns)
+// dispatched through Engine.Step. One benchmark op is one dispatched
+// event. Events/sec, ns/event, and allocs/op land in BENCH_engine.json so
+// engine-throughput work (ROADMAP) has a tracked baseline.
+func BenchmarkEngineHotPath(b *testing.B) {
+	const nTimers = 64
+	eng := sim.NewEngine()
+	eng.EnableProfiling()
+	// Coprime-ish periods spread events across the heap instead of
+	// batching them at one timestamp.
+	for i := 0; i < nTimers; i++ {
+		period := sim.Time(97+13*i) * sim.Microsecond
+		var tick func()
+		tick = func() { eng.Schedule(period, tick) }
+		eng.Schedule(sim.Time(i)*sim.Microsecond, tick)
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if !eng.Step() {
+			b.Fatal("engine drained: self-rescheduling timers died")
+		}
+	}
+	wall := time.Since(start)
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	prof := eng.Profile()
+	allocs := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
+	perSec := 0.0
+	if wall > 0 {
+		perSec = float64(b.N) / wall.Seconds()
+	}
+	b.ReportMetric(perSec, "events/sec")
+	b.ReportMetric(allocs, "allocs/event")
+	rec := benchEngineRecord{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Timers:        nTimers,
+		Events:        prof.Events,
+		EventsPerSec:  perSec,
+		NsPerEvent:    float64(wall.Nanoseconds()) / float64(b.N),
+		AllocsPerOp:   allocs,
+		HeapPushes:    prof.HeapPushes,
+		HeapPops:      prof.HeapPops,
+		MaxTimerDepth: prof.MaxDepth,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_engine.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // benchMgmtRecord is the schema of BENCH_mgmt.json.
 type benchMgmtRecord struct {
 	Stores     int     `json:"stores"`
 	VMDKs      int     `json:"vmdks"`
 	Scheme     string  `json:"scheme"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
 	WindowUS   float64 `json:"window_us"` // simulated window length
 	Iterations int     `json:"iterations"`
 	// WindowWallUS is the mean wall-clock cost of simulating one
@@ -389,6 +464,7 @@ func BenchmarkManagerEpoch(b *testing.B) {
 		Stores:       len(stores),
 		VMDKs:        nVMDKs,
 		Scheme:       mgmt.Full().Name,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		WindowUS:     cfg.Window.Seconds() * 1e6,
 		Iterations:   b.N,
 		WindowWallUS: wall.Seconds() * 1e6 / float64(b.N),
@@ -410,15 +486,19 @@ func BenchmarkManagerEpoch(b *testing.B) {
 // the matrix level.
 var benchParallelCells = []string{"table4", "fig5", "fig9", "fig14", "fig15", "dax", "faults"}
 
-// benchParallelRecord is the schema of BENCH_parallel.json.
+// benchParallelRecord is the schema of BENCH_parallel.json. Speedup is a
+// pointer so a run that cannot measure parallelism (GOMAXPROCS=1: both
+// schedules execute on one core and the ratio is pure noise) records an
+// honest null plus a note instead of a fabricated ~1.0 "speedup".
 type benchParallelRecord struct {
 	Cells        []string `json:"cells"`
 	GOMAXPROCS   int      `json:"gomaxprocs"`
 	Iterations   int      `json:"iterations"`
 	SequentialS  float64  `json:"sequential_s"` // mean wall time at -jobs 1
 	ParallelS    float64  `json:"parallel_s"`   // mean wall time at -jobs GOMAXPROCS
-	Speedup      float64  `json:"speedup"`
+	Speedup      *float64 `json:"speedup"`      // null when unmeasurable
 	ParallelJobs int      `json:"parallel_jobs"`
+	Note         string   `json:"note,omitempty"`
 }
 
 // BenchmarkExperimentsParallel times the same matrix slice under the
@@ -452,11 +532,6 @@ func BenchmarkExperimentsParallel(b *testing.B) {
 		par += run(0)
 	}
 	b.StopTimer()
-	speedup := 0.0
-	if par > 0 {
-		speedup = float64(seq) / float64(par)
-	}
-	b.ReportMetric(speedup, "speedup")
 	b.ReportMetric(seq.Seconds()/float64(b.N), "seq_s/op")
 	b.ReportMetric(par.Seconds()/float64(b.N), "par_s/op")
 	rec := benchParallelRecord{
@@ -465,8 +540,14 @@ func BenchmarkExperimentsParallel(b *testing.B) {
 		Iterations:   b.N,
 		SequentialS:  seq.Seconds() / float64(b.N),
 		ParallelS:    par.Seconds() / float64(b.N),
-		Speedup:      speedup,
 		ParallelJobs: runtime.GOMAXPROCS(0),
+	}
+	if rec.GOMAXPROCS > 1 && par > 0 {
+		speedup := float64(seq) / float64(par)
+		rec.Speedup = &speedup
+		b.ReportMetric(speedup, "speedup")
+	} else {
+		rec.Note = "speedup not measurable at GOMAXPROCS=1; run with more cores to record it"
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

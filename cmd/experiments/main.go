@@ -9,6 +9,7 @@
 //	            [-scale quick|full] [-seed N] [-jobs N]
 //	            [-policy SPEC]
 //	            [-trace-out FILE] [-metrics-out FILE] [-sample-ms N]
+//	            [-tail-out FILE] [-tail-ms N]
 //
 // -policy SPEC runs a policy study instead of the matrix: the spec (a
 // canonical scheme name or a stage composition like
@@ -25,9 +26,11 @@
 // §9 for the determinism contract.
 //
 // The telemetry flags instrument every system the selected experiments
-// build: spans from all of them land in one trace and sampled metrics in
-// one CSV, with tracks namespaced "sys<k>.…" by the experiment matrix's
-// canonical order — stable across -jobs settings.
+// build: spans from all of them land in one trace, sampled metrics in
+// one CSV, and (with -tail-out) windowed per-store/per-VMDK tail
+// latencies in another CSV, with tracks and keys namespaced "sys<k>.…"
+// by the experiment matrix's canonical order — stable across -jobs
+// settings.
 package main
 
 import (
@@ -52,6 +55,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write spans from every built system (Chrome trace JSON; .jsonl = line-delimited)")
 	metricsOut := flag.String("metrics-out", "", "write sampled metrics from every built system as CSV")
 	sampleMS := flag.Int("sample-ms", 25, "metric sampling interval in simulated milliseconds")
+	tailOut := flag.String("tail-out", "", "write windowed per-store/per-VMDK tail latency from every built system as CSV")
+	tailMS := flag.Int("tail-ms", 10, "tail window length in simulated milliseconds")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -66,8 +71,15 @@ func main() {
 	if *sampleMS <= 0 {
 		*sampleMS = 25
 	}
+	if *tailMS <= 0 {
+		*tailMS = 10
+	}
+	tailEvery := sim.Time(0)
+	if *tailOut != "" {
+		tailEvery = sim.Time(*tailMS) * sim.Millisecond
+	}
 	scope := core.NewTelemetryScope(*traceOut != "", *metricsOut != "",
-		sim.Time(*sampleMS)*sim.Millisecond)
+		sim.Time(*sampleMS)*sim.Millisecond, tailEvery)
 	scale.Scope = scope
 	scale.Jobs = *jobs
 
@@ -82,7 +94,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("===== policy =====\n%s\n", study)
-		exportTelemetry(scope, *traceOut, *metricsOut)
+		exportTelemetry(scope, *traceOut, *metricsOut, *tailOut)
 		return
 	}
 
@@ -113,15 +125,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%s finished in %.1fs\n", r.Name, r.Elapsed.Seconds())
 	}
 
-	exportTelemetry(scope, *traceOut, *metricsOut)
+	exportTelemetry(scope, *traceOut, *metricsOut, *tailOut)
 	if failed > 0 {
 		os.Exit(1)
 	}
 }
 
-// exportTelemetry merges and writes the scope's trace/metric artifacts
-// (no-op when telemetry was not requested).
-func exportTelemetry(scope *core.TelemetryScope, traceOut, metricsOut string) {
+// exportTelemetry merges and writes the scope's trace/metric/tail
+// artifacts (no-op when telemetry was not requested).
+func exportTelemetry(scope *core.TelemetryScope, traceOut, metricsOut, tailOut string) {
 	if !scope.Enabled() {
 		return
 	}
@@ -137,6 +149,20 @@ func exportTelemetry(scope *core.TelemetryScope, traceOut, metricsOut string) {
 			log.Fatalf("metrics export: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d metric samples to %s\n", tel.Series.Len(), metricsOut)
+	}
+	if tailOut != "" {
+		f, err := os.Create(tailOut)
+		if err != nil {
+			log.Fatalf("tail export: %v", err)
+		}
+		err = tel.Tail.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatalf("tail export: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d tail windows to %s\n", tel.Tail.Len(), tailOut)
 	}
 }
 

@@ -11,6 +11,7 @@
 //	       [-bypass] [-sched baseline|p1|p2|both]
 //	       [-replicas N] [-replica-seeds S1,S2,...] [-jobs N]
 //	       [-trace-out FILE] [-metrics-out FILE] [-sample-ms N] [-declog N]
+//	       [-tail-out FILE] [-tail-ms N] [-slo SPEC]
 //	       [-fault-spec SPEC] [-max-events N]
 //
 // With -policy the management scheme is given as a policy spec instead
@@ -36,6 +37,15 @@
 // writes line-delimited JSON instead. With -metrics-out the full metric
 // registry is sampled every -sample-ms of simulated time and written as
 // CSV.
+//
+// With -tail-out the run tracks windowed tail latency per store and per
+// VMDK (window length -tail-ms of simulated time) and writes the
+// deterministic p50/p95/p99/max series as CSV; the report gains lifetime
+// tail summaries. With -slo the windows are additionally evaluated
+// against tail-latency objectives (grammar in internal/mgmt/slo, e.g.
+// "p99=500" or "vmdk=3:max=2ms"): violated windows emit trace instants,
+// land in the decision log, and are counted in the report. -slo works
+// without -tail-out (a private tracker windows at the management cadence).
 //
 // With -fault-spec the run arms deterministic fault injection (device
 // error rates, latency degradation, outages, link drops/stalls — see the
@@ -97,6 +107,9 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the sampled metric time series as CSV")
 	sampleMS := flag.Int("sample-ms", 25, "metric sampling interval in simulated milliseconds")
 	decLog := flag.Int("declog", 1024, "management decision-log capacity (0 = off)")
+	tailOut := flag.String("tail-out", "", "write per-store/per-VMDK windowed tail latency (p50/p95/p99/max) as CSV")
+	tailMS := flag.Int("tail-ms", 10, "tail window length in simulated milliseconds")
+	sloSpec := flag.String("slo", "", `tail-latency SLO objectives, e.g. "p99=500" or "store=node0-nvdimm:p95=50us;vmdk=3:max=2ms"`)
 	faultSpec := flag.String("fault-spec", "", `deterministic fault injection, e.g. "dev=node0-nvdimm:errate=0.2@40ms..240ms;link=0-1:drop=0.1"`)
 	maxEvents := flag.Uint64("max-events", 0, "abort the run after this many engine events (0 = unlimited)")
 	replicas := flag.Int("replicas", 1, "run the configuration N times under different seeds")
@@ -124,8 +137,11 @@ func main() {
 	cfg.DecisionLogCap = *decLog
 	cfg.StageSpans = *stageSpans
 
+	if *tailMS <= 0 {
+		*tailMS = 10
+	}
 	var tel *core.Telemetry
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *tailOut != "" {
 		tel = &core.Telemetry{}
 		if *traceOut != "" {
 			tel.Tracer = telemetry.NewTracer()
@@ -136,6 +152,10 @@ func main() {
 			}
 			tel.Registry = telemetry.NewRegistry()
 			tel.SampleEvery = sim.Time(*sampleMS) * sim.Millisecond
+		}
+		if *tailOut != "" {
+			tel.Tail = telemetry.NewTailSeries()
+			tel.TailEvery = sim.Time(*tailMS) * sim.Millisecond
 		}
 	}
 
@@ -151,6 +171,7 @@ func main() {
 		DAX:                 *dax,
 		WorkloadSkew:        *skew,
 		Telemetry:           tel,
+		SLOSpec:             *sloSpec,
 		FaultSpec:           *faultSpec,
 		MaxEvents:           *maxEvents,
 	}
@@ -164,7 +185,7 @@ func main() {
 			*sampleMS = 25
 		}
 		err := runReplicas(opts, scheme, *replicas, *replicaSeeds, *jobs, dur,
-			*traceOut, *metricsOut, *sampleMS)
+			*traceOut, *metricsOut, *sampleMS, *tailOut, *tailMS)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -204,6 +225,12 @@ func main() {
 		}
 		fmt.Printf("wrote %d metric samples to %s\n", series.Len(), *metricsOut)
 	}
+	if *tailOut != "" {
+		if err := writeTailCSV(*tailOut, tel.Tail); err != nil {
+			log.Fatalf("tail export: %v", err)
+		}
+		fmt.Printf("wrote %d tail windows to %s\n", tel.Tail.Len(), *tailOut)
+	}
 }
 
 // runReplicas executes the configuration n times under different seeds,
@@ -214,7 +241,8 @@ func main() {
 // read-only by all replicas. Telemetry from all replicas merges into
 // single artifacts with "sys<k>." tracks numbered by replica index.
 func runReplicas(opts core.Options, scheme mgmt.Scheme, n int, seedList string,
-	jobs int, dur sim.Time, traceOut, metricsOut string, sampleMS int) error {
+	jobs int, dur sim.Time, traceOut, metricsOut string, sampleMS int,
+	tailOut string, tailMS int) error {
 	seeds := make([]uint64, n)
 	for i := range seeds {
 		seeds[i] = opts.Seed + uint64(i)
@@ -242,8 +270,12 @@ func runReplicas(opts core.Options, scheme mgmt.Scheme, n int, seedList string,
 		opts.Model = m
 	}
 
+	tailEvery := sim.Time(0)
+	if tailOut != "" {
+		tailEvery = sim.Time(tailMS) * sim.Millisecond
+	}
 	scope := core.NewTelemetryScope(traceOut != "", metricsOut != "",
-		sim.Time(sampleMS)*sim.Millisecond)
+		sim.Time(sampleMS)*sim.Millisecond, tailEvery)
 	scopes := scope.Fork(n)
 
 	fmt.Printf("running %s x%d replicas for %v (nodes=%d mem=%q)...\n",
@@ -290,6 +322,12 @@ func runReplicas(opts core.Options, scheme mgmt.Scheme, n int, seedList string,
 			}
 			fmt.Printf("wrote %d metric samples to %s\n", tel.Series.Len(), metricsOut)
 		}
+		if tailOut != "" {
+			if err := writeTailCSV(tailOut, tel.Tail); err != nil {
+				return fmt.Errorf("tail export: %w", err)
+			}
+			fmt.Printf("wrote %d tail windows to %s\n", tel.Tail.Len(), tailOut)
+		}
 	}
 	return nil
 }
@@ -325,6 +363,19 @@ func writeCSV(path string, s *telemetry.Series) error {
 	return err
 }
 
+// writeTailCSV exports the windowed tail-latency series.
+func writeTailCSV(path string, s *telemetry.TailSeries) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = s.WriteCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 func printReport(rep core.Report) {
 	fmt.Printf("\n=== report: %s (simulated %v) ===\n", rep.Scheme, rep.Elapsed)
 
@@ -346,6 +397,22 @@ func printReport(rep core.Report) {
 	sort.Strings(apps)
 	for _, a := range apps {
 		fmt.Printf("  %-16s %10.0f\n", a, rep.WorkloadIOPS[a])
+	}
+
+	if len(rep.Tail) > 0 {
+		fmt.Println("\ntail latency (lifetime, us):")
+		fmt.Printf("  %-16s %10s %10s %10s %10s %10s\n", "key", "count", "p50", "p95", "p99", "max")
+		for _, t := range rep.Tail {
+			fmt.Printf("  %-16s %10d %10.1f %10.1f %10.1f %10.1f\n",
+				t.Key, t.Summary.Count, t.Summary.P50US, t.Summary.P95US, t.Summary.P99US, t.Summary.MaxUS)
+		}
+	}
+	if rep.SLOWindows > 0 {
+		fmt.Printf("\nSLO:                 %d violation windows over %d inspected\n",
+			rep.SLOViolationWindows, rep.SLOWindows)
+		for _, v := range rep.SLO {
+			fmt.Printf("  %-16s %d violation windows\n", v.Key, v.Windows)
+		}
 	}
 
 	fmt.Printf("\nmean IOPS:           %.0f\n", rep.MeanIOPS)

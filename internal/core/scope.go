@@ -38,6 +38,7 @@ type TelemetryScope struct {
 	traceOn     bool
 	metricsOn   bool
 	sampleEvery sim.Time
+	tailEvery   sim.Time // 0 = tail tracking off
 	slots       []scopeSlot
 }
 
@@ -49,22 +50,26 @@ type scopeSlot struct {
 }
 
 // NewTelemetryScope builds a scope recording spans (traceOn), sampled
-// metrics (metricsOn, every sampleEvery of simulated time), or both.
-// Returns nil when both sinks are off, so callers can pass the result
+// metrics (metricsOn, every sampleEvery of simulated time), windowed
+// tail latency (tailEvery > 0, the window length), or any combination.
+// Returns nil when every sink is off, so callers can pass the result
 // straight into Options.Scope.
-func NewTelemetryScope(traceOn, metricsOn bool, sampleEvery sim.Time) *TelemetryScope {
-	if !traceOn && !metricsOn {
+func NewTelemetryScope(traceOn, metricsOn bool, sampleEvery, tailEvery sim.Time) *TelemetryScope {
+	if !traceOn && !metricsOn && tailEvery <= 0 {
 		return nil
 	}
 	if metricsOn && sampleEvery <= 0 {
 		sampleEvery = 25 * sim.Millisecond
 	}
-	return &TelemetryScope{traceOn: traceOn, metricsOn: metricsOn, sampleEvery: sampleEvery}
+	if tailEvery < 0 {
+		tailEvery = 0
+	}
+	return &TelemetryScope{traceOn: traceOn, metricsOn: metricsOn, sampleEvery: sampleEvery, tailEvery: tailEvery}
 }
 
 // Enabled reports whether the scope records anything (false for nil).
 func (sc *TelemetryScope) Enabled() bool {
-	return sc != nil && (sc.traceOn || sc.metricsOn)
+	return sc != nil && (sc.traceOn || sc.metricsOn || sc.tailEvery > 0)
 }
 
 // Fork reserves n child scopes in index order and returns them. Must be
@@ -78,7 +83,7 @@ func (sc *TelemetryScope) Fork(n int) []*TelemetryScope {
 		return out
 	}
 	for i := range out {
-		c := &TelemetryScope{traceOn: sc.traceOn, metricsOn: sc.metricsOn, sampleEvery: sc.sampleEvery}
+		c := &TelemetryScope{traceOn: sc.traceOn, metricsOn: sc.metricsOn, sampleEvery: sc.sampleEvery, tailEvery: sc.tailEvery}
 		sc.slots = append(sc.slots, scopeSlot{child: c})
 		out[i] = c
 	}
@@ -101,6 +106,10 @@ func (sc *TelemetryScope) adopt() *Telemetry {
 		t.Registry = telemetry.NewRegistry()
 		t.Series = &telemetry.Series{}
 		t.SampleEvery = sc.sampleEvery
+	}
+	if sc.tailEvery > 0 {
+		t.Tail = telemetry.NewTailSeries()
+		t.TailEvery = sc.tailEvery
 	}
 	sc.slots = append(sc.slots, scopeSlot{sys: t})
 	return t
@@ -139,6 +148,9 @@ func (sc *TelemetryScope) Merge() *Telemetry {
 	if sc.metricsOn {
 		merged.Series = &telemetry.Series{}
 	}
+	if sc.tailEvery > 0 {
+		merged.Tail = telemetry.NewTailSeries()
+	}
 	k := 0
 	sc.mergeInto(merged, &k)
 	return merged
@@ -155,5 +167,6 @@ func (sc *TelemetryScope) mergeInto(dst *Telemetry, k *int) {
 		*k++
 		dst.Tracer.MergePrefixed(s.sys.Tracer, prefix)
 		dst.Series.MergePrefixed(s.sys.Series, prefix)
+		dst.Tail.MergePrefixed(s.sys.Tail, prefix)
 	}
 }

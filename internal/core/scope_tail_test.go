@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mgmt"
+	"repro/internal/runpool"
+	"repro/internal/sim"
+)
+
+// TestScopeTailSLOParallelIdentity extends the PR 3 byte-identity
+// guarantee to the observability artifacts added in this PR: the merged
+// -tail-out CSV and the SLO violation instants in the merged Chrome trace
+// must be byte-identical whether the replica family runs on one worker or
+// four. The run uses a degraded-NVDIMM fault window plus a tight p99
+// objective so the trace actually contains slo.violation instants —
+// identity over an empty artifact would prove nothing.
+func TestScopeTailSLOParallelIdentity(t *testing.T) {
+	const n = 4
+	run := func(jobs int) (trace, tailCSV []byte) {
+		sc := NewTelemetryScope(true, false, 0, 10*sim.Millisecond)
+		kids := sc.Fork(n)
+		_, errs := runpool.Do(jobs, n, func(i int) (struct{}, error) {
+			o := smallOpts(mgmt.BASIL())
+			o.Seed = 7 + uint64(i)
+			o.FaultSpec = "dev=node0-nvdimm:degrade=8@40ms..200ms"
+			o.SLOSpec = "p99=400"
+			o.Scope = kids[i]
+			s, err := NewSystem(o)
+			if err != nil {
+				return struct{}{}, err
+			}
+			return struct{}{}, s.Run(250 * sim.Millisecond)
+		})
+		if err := runpool.FirstError(errs); err != nil {
+			t.Fatal(err)
+		}
+		m := sc.Merge()
+		var tb, cb bytes.Buffer
+		if err := m.Tracer.WriteChromeTrace(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Tail.WriteCSV(&cb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.Bytes(), cb.Bytes()
+	}
+
+	seqTrace, seqCSV := run(1)
+	parTrace, parCSV := run(4)
+	if !bytes.Equal(seqCSV, parCSV) {
+		t.Errorf("merged tail CSV differs between jobs=1 and jobs=4 (lens %d vs %d)",
+			len(seqCSV), len(parCSV))
+	}
+	if !bytes.Equal(seqTrace, parTrace) {
+		t.Errorf("merged trace differs between jobs=1 and jobs=4 (lens %d vs %d)",
+			len(seqTrace), len(parTrace))
+	}
+	if !bytes.Contains(seqTrace, []byte(`"slo.violation"`)) {
+		t.Error("degraded-device run produced no slo.violation instants")
+	}
+	for _, want := range [][]byte{[]byte("sys0.node0-nvdimm"), []byte("sys3.node0-nvdimm")} {
+		if !bytes.Contains(seqCSV, want) {
+			t.Errorf("merged tail CSV lacks %s namespacing:\n%.300s", want, seqCSV)
+		}
+	}
+	if !bytes.Contains(seqCSV, []byte("vmdk")) {
+		t.Error("merged tail CSV has no per-VMDK rows")
+	}
+}

@@ -34,7 +34,7 @@ func exportScope(sc *TelemetryScope) (trace, csv []byte) {
 // children — the core of the -jobs N byte-identity guarantee.
 func TestScopeMergeOrderIndependent(t *testing.T) {
 	build := func(adoptionOrder []int) (trace, csv []byte) {
-		sc := NewTelemetryScope(true, true, sim.Millisecond)
+		sc := NewTelemetryScope(true, true, sim.Millisecond, 0)
 		kids := sc.Fork(3)
 		tels := make([]*Telemetry, 3)
 		for _, i := range adoptionOrder { // out-of-order = parallel completion
@@ -66,7 +66,7 @@ func TestScopeMergeOrderIndependent(t *testing.T) {
 // exactly as a sequential run would: direct adoptions and forked subtrees
 // interleave in slot order.
 func TestScopeNestedNumbering(t *testing.T) {
-	sc := NewTelemetryScope(true, false, 0)
+	sc := NewTelemetryScope(true, false, 0, 0)
 	first := sc.adopt()      // sys0
 	kids := sc.Fork(2)       // sys1 (child0), sys2+sys3 (child1)
 	last := sc.adopt()       // sys4

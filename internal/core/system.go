@@ -16,6 +16,7 @@ import (
 	"repro/internal/hdd"
 	"repro/internal/memsched"
 	"repro/internal/mgmt"
+	"repro/internal/mgmt/slo"
 	"repro/internal/mlmodel"
 	"repro/internal/nvdimm"
 	"repro/internal/perfmodel"
@@ -80,6 +81,10 @@ type Options struct {
 	// and run concurrently via internal/runpool — merge into one artifact
 	// with stable "sys<k>." names after all runs return.
 	Scope *TelemetryScope
+	// SLOSpec arms tail-latency SLO tracking (see internal/mgmt/slo's
+	// grammar; "" = off). Violated windows land in the decision log, the
+	// span tracer (as instants), and the Report.
+	SLOSpec string
 	// FaultSpec arms deterministic fault injection (see faultinject's
 	// grammar; "" = no faults). Injection draws from its own seed-derived
 	// RNG, so a run with an empty spec is byte-identical to one built
@@ -171,11 +176,13 @@ type System struct {
 	// empty).
 	Injector *faultinject.Injector
 
-	rng       *sim.RNG
-	samples   []WindowSample
-	lastTotal map[int]uint64 // per-node intensity snapshot
-	tel       *Telemetry
-	sampler   *telemetry.Sampler
+	rng         *sim.RNG
+	samples     []WindowSample
+	lastTotal   map[int]uint64 // per-node intensity snapshot
+	tel         *Telemetry
+	sampler     *telemetry.Sampler
+	tailTracker *telemetry.TailTracker
+	sloTracker  *slo.Tracker
 }
 
 // NewSystem builds and wires a system; it trains the NVDIMM model when
@@ -279,6 +286,9 @@ func NewSystem(opts Options) (*System, error) {
 		return nil, err
 	}
 	s.wireTelemetry(resolveTelemetry(opts))
+	if err := s.wireSLO(opts); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -364,6 +374,7 @@ func (s *System) Start() {
 	if s.sampler != nil {
 		s.sampler.Start()
 	}
+	s.tailTracker.Start()
 }
 
 // Stop halts generation and management; in-flight work drains on the
@@ -377,6 +388,7 @@ func (s *System) Stop() {
 	if s.sampler != nil {
 		s.sampler.Stop()
 	}
+	s.tailTracker.Stop()
 }
 
 // Run starts everything, runs d of simulated time, then stops and
@@ -423,8 +435,33 @@ type Report struct {
 	// IOErrors is the total failed completions across devices (0 in
 	// fault-free runs).
 	IOErrors uint64
+	// Tail lists lifetime tail-latency summaries per tracked key in
+	// sorted key order (empty when tail tracking is off).
+	Tail []TailReport
+	// SLO lists per-key violation-window counts in sorted key order
+	// (empty when no SLO spec is armed or nothing violated).
+	SLO []SLOReport
+	// SLOWindows and SLOViolationWindows count inspected tail windows
+	// and (key, window) pairs in violation (0 without an SLO spec).
+	SLOWindows, SLOViolationWindows uint64
 	// Elapsed is the simulated duration covered by the report.
 	Elapsed sim.Time
+}
+
+// TailReport is one tracked key's lifetime tail in a Report.
+type TailReport struct {
+	// Key is the tracked entity: a store name or "vmdk<id>".
+	Key string
+	// Summary holds the lifetime quantiles.
+	Summary telemetry.TailSummary
+}
+
+// SLOReport is one key's SLO violation count in a Report.
+type SLOReport struct {
+	// Key is the violating entity: a store name or "vmdk<id>".
+	Key string
+	// Windows counts this key's violation windows.
+	Windows uint64
 }
 
 // Report computes the run summary.
@@ -476,6 +513,14 @@ func (s *System) Report() Report {
 		rep.MeanIOPS = iopsSum / float64(len(s.Runners))
 	}
 	rep.CacheHitRatio = s.Cluster.Nodes[0].NVDIMM.Cache().Stats().HitRatio()
+	for _, k := range s.tailTracker.Keys() {
+		rep.Tail = append(rep.Tail, TailReport{Key: k, Summary: s.tailTracker.Summary(k)})
+	}
+	for _, k := range s.sloTracker.Keys() {
+		rep.SLO = append(rep.SLO, SLOReport{Key: k, Windows: s.sloTracker.Violations(k)})
+	}
+	rep.SLOWindows = s.sloTracker.Windows()
+	rep.SLOViolationWindows = s.sloTracker.ViolationWindows()
 	return rep
 }
 

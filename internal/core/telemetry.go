@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/mgmt/slo"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -22,6 +23,12 @@ type Telemetry struct {
 	Series *telemetry.Series
 	// SampleEvery is the simulated-time sampling interval (0 = off).
 	SampleEvery sim.Time
+	// Tail is the tail tracker's flushed-window sink (nil = no export;
+	// windows are still tracked when TailEvery > 0 for report summaries).
+	Tail *telemetry.TailSeries
+	// TailEvery is the tail-tracking window length (0 = tail tracking
+	// off).
+	TailEvery sim.Time
 	// Prefix namespaces this system's metrics and tracks (e.g. "sys0.").
 	Prefix string
 }
@@ -70,6 +77,10 @@ func (s *System) wireTelemetry(t *Telemetry) {
 			s.sampler = telemetry.NewSampler(s.Cluster.Eng, reg, t.SampleEvery, t.Series)
 		}
 	}
+	if t.TailEvery > 0 {
+		s.tailTracker = telemetry.NewTailTracker(s.Cluster.Eng, t.TailEvery, t.Tail)
+		s.setTailOnDevices(s.tailTracker)
+	}
 	if tr := t.Tracer; tr != nil {
 		for i, n := range s.Cluster.Nodes {
 			np := fmt.Sprintf("%snode%d.", pfx, i)
@@ -85,8 +96,60 @@ func (s *System) wireTelemetry(t *Telemetry) {
 	}
 }
 
+// setTailOnDevices routes every store device's completions into t.
+func (s *System) setTailOnDevices(t *telemetry.TailTracker) {
+	for _, n := range s.Cluster.Nodes {
+		n.NVDIMM.Metrics().SetTail(t)
+		n.SSD.Metrics().SetTail(t)
+		n.HDD.Metrics().SetTail(t)
+	}
+}
+
+// wireSLO parses Options.SLOSpec and binds a violation tracker to the
+// tail windows. SLO evaluation needs windowed tails, so when tail
+// tracking was not otherwise enabled a private tracker (management
+// window length, no CSV export) is created just for the evaluation.
+// Called from NewSystem after wireTelemetry so the sinks exist.
+func (s *System) wireSLO(opts Options) error {
+	if opts.SLOSpec == "" {
+		return nil
+	}
+	spec, err := slo.Parse(opts.SLOSpec)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	tracker := slo.NewTracker(spec)
+	if tracker == nil {
+		return nil
+	}
+	if s.tailTracker == nil {
+		s.tailTracker = telemetry.NewTailTracker(s.Cluster.Eng, opts.Mgmt.Window, nil)
+		s.setTailOnDevices(s.tailTracker)
+	}
+	s.sloTracker = tracker
+	s.tailTracker.OnWindow = tracker.ObserveWindow
+	tracker.OnViolation = s.Manager.NoteSLOViolation
+	if t := s.tel; t != nil {
+		if t.Tracer != nil {
+			tracker.SetTracer(t.Tracer, t.Prefix+"slo")
+		}
+		if t.Registry != nil {
+			tracker.RegisterTelemetry(t.Registry, t.Prefix+"slo.")
+		}
+	}
+	return nil
+}
+
 // Sampler returns the windowed sampler, or nil when sampling is off.
 func (s *System) Sampler() *telemetry.Sampler { return s.sampler }
+
+// SLOTracker returns the SLO violation tracker, or nil when no SLO spec
+// was configured.
+func (s *System) SLOTracker() *slo.Tracker { return s.sloTracker }
+
+// TailTracker returns the tail-latency tracker, or nil when tail
+// tracking is off.
+func (s *System) TailTracker() *telemetry.TailTracker { return s.tailTracker }
 
 // Telemetry returns the sinks wired into the system (nil when none).
 func (s *System) Telemetry() *Telemetry { return s.tel }

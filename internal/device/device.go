@@ -93,10 +93,11 @@ type Metrics struct {
 	// LifetimeContentionUS accumulates contention across all windows.
 	LifetimeContentionUS float64
 
-	// Optional telemetry hooks; both nil unless wired (zero cost when off).
+	// Optional telemetry hooks; all nil unless wired (zero cost when off).
 	hist  *telemetry.Histogram
 	tr    *telemetry.Tracer
 	track string
+	tail  *telemetry.TailTracker
 }
 
 // NewMetrics returns a metric collector labelled with the device name.
@@ -131,6 +132,12 @@ func (m *Metrics) Observe(r *trace.IORequest) {
 	if m.hist != nil {
 		m.hist.Observe(latUS)
 	}
+	if m.tail != nil {
+		m.tail.Observe(m.name, latUS)
+		if r.VMDK >= 0 {
+			m.tail.ObserveVMDK(r.VMDK, latUS)
+		}
+	}
 	if m.tr != nil {
 		m.tr.Complete(m.track, r.Op.String(), "io", r.Issue, r.Complete,
 			telemetry.U("req", r.ID), telemetry.I("vmdk", int64(r.VMDK)),
@@ -160,6 +167,11 @@ func (m *Metrics) SetTracer(tr *telemetry.Tracer, track string) {
 	m.tr = tr
 	m.track = track
 }
+
+// SetTail routes every successful completion's latency into the tail
+// tracker, keyed by device name and (when tagged) by VMDK. A nil tracker
+// disables the hook.
+func (m *Metrics) SetTail(t *telemetry.TailTracker) { m.tail = t }
 
 // AddContention attributes extra bus-contention microseconds to the window.
 func (m *Metrics) AddContention(us float64) {

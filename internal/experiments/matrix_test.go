@@ -20,7 +20,7 @@ import (
 func TestMatrixParallelDeterminism(t *testing.T) {
 	names := []string{"table4", "fig5", "fig9", "faults"}
 	run := func(jobs int) (report, trace, csv string) {
-		scope := core.NewTelemetryScope(true, true, 5*sim.Millisecond)
+		scope := core.NewTelemetryScope(true, true, 5*sim.Millisecond, 0)
 		sc := Quick()
 		sc.Scope = scope
 		sc.Jobs = jobs

@@ -18,6 +18,7 @@ var exportedDocRel = map[string]bool{
 	"internal/lint":        true,
 	"internal/telemetry":   true,
 	"internal/mgmt/policy": true,
+	"internal/mgmt/slo":    true,
 }
 
 // checkDocs is the generalization of the repository's original doc-lint

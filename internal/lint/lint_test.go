@@ -87,12 +87,14 @@ func TestFixtureChecksAttribution(t *testing.T) {
 	// for the check of the same name (plus directive findings where the
 	// fixture seeds malformed suppressions).
 	wantCheck := map[string]string{
-		"internal/walltime":  "walltime",
-		"internal/randbad":   "globalrand",
-		"internal/maporder":  "maporder",
-		"internal/goroutine": "goroutineownership",
-		"internal/nodoc":     "docs",
-		"internal/runpool":   "docs",
+		"internal/walltime":    "walltime",
+		"internal/randbad":     "globalrand",
+		"internal/maporder":    "maporder",
+		"internal/goroutine":   "goroutineownership",
+		"internal/nodoc":       "docs",
+		"internal/runpool":     "docs",
+		"internal/mgmt/policy": "docs",
+		"internal/mgmt/slo":    "docs",
 	}
 	mustBeClean := map[string]bool{
 		"internal/sim": true, "internal/faultinject": true,

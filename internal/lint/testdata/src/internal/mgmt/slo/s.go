@@ -1,0 +1,11 @@
+// Package slo is the fixture stand-in for the SLO-objective surface:
+// like internal/mgmt/policy, its exported symbols are the user-facing
+// `-slo` grammar, so the docs check requires a doc comment on each —
+// the variable below deliberately omits one.
+package slo
+
+// Parse resolves an objective string; documented, so the docs check
+// stays quiet about it.
+func Parse(spec string) string { return spec }
+
+var DefaultQuantile = "p99"

@@ -33,6 +33,10 @@ const (
 	// DecisionReadmit records a quarantined store completing probation and
 	// rejoining the pool.
 	DecisionReadmit
+	// DecisionSLO records a tail-latency SLO violation window reported by
+	// the observability layer (internal/mgmt/slo) — the signal a future
+	// tail-aware Planner stage will consume.
+	DecisionSLO
 )
 
 // String names the kind.
@@ -56,6 +60,8 @@ func (k DecisionKind) String() string {
 		return "evacuate"
 	case DecisionReadmit:
 		return "readmit"
+	case DecisionSLO:
+		return "slo"
 	default:
 		return fmt.Sprintf("decision(%d)", uint8(k))
 	}
@@ -183,3 +189,12 @@ func (l *DecisionLog) String() string {
 // Log returns the manager's decision log, sized by Config.DecisionLogCap
 // at construction (callers may re-size with SetCapacity).
 func (m *Manager) Log() *DecisionLog { return &m.log }
+
+// NoteSLOViolation records one SLO violation in the decision log — the
+// bridge from the observability layer's per-window evaluation into the
+// manager's audit trail. Src carries the violating key (a store name or
+// "vmdk<id>"); the entry is attributed to the observe stage since that
+// is where a tail-aware pipeline would act on it.
+func (m *Manager) NoteSLOViolation(at sim.Time, key, detail string) {
+	m.logDecision(Decision{At: at, Kind: DecisionSLO, Stage: StageObserve, VMDK: -1, Src: key, Detail: detail})
+}

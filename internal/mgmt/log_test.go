@@ -46,7 +46,8 @@ func TestDecisionKindString(t *testing.T) {
 		DecisionSkip:     "skip",
 		DecisionComplete: "complete",
 		DecisionPlace:    "place",
-		DecisionKind(9):  "decision(9)",
+		DecisionSLO:      "slo",
+		DecisionKind(99): "decision(99)",
 	}
 	for k, want := range cases {
 		if k.String() != want {

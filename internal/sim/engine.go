@@ -89,6 +89,44 @@ type Engine struct {
 	budgetEvents   uint64 // absolute processed-count limit (0 = off)
 	budgetDeadline Time   // absolute sim-time limit (0 = off)
 	budgetErr      error
+
+	// prof, when non-nil, accumulates the self-profiling counters of
+	// EnableProfiling. The hot paths pay exactly one nil check when
+	// profiling is off (the cheap-when-disabled contract, DESIGN.md §12).
+	prof *EngineProfile
+}
+
+// EngineProfile is a snapshot of the engine's self-profiling counters:
+// the raw cost drivers of the event hot path, for BenchmarkEngineHotPath
+// and BENCH_engine.json. All counts are deterministic for a given
+// schedule — profiling observes the run without perturbing it.
+type EngineProfile struct {
+	// Events is the number of events dispatched since profiling was enabled.
+	Events uint64
+	// HeapPushes counts event-queue insertions (one per At/Schedule call).
+	HeapPushes uint64
+	// HeapPops counts event-queue removals (one per dispatched event).
+	HeapPops uint64
+	// MaxDepth is the high-water mark of simultaneously pending events —
+	// the timer depth the queue's O(log n) operations actually paid for.
+	MaxDepth int
+}
+
+// EnableProfiling arms the self-profiling counters. Counters start from
+// zero at the call; re-enabling resets them. Profiling is off by default
+// and costs the hot path a single pointer nil check when off.
+func (e *Engine) EnableProfiling() { e.prof = &EngineProfile{} }
+
+// ProfilingEnabled reports whether self-profiling counters are armed.
+func (e *Engine) ProfilingEnabled() bool { return e.prof != nil }
+
+// Profile returns a snapshot of the self-profiling counters (the zero
+// profile when profiling was never enabled).
+func (e *Engine) Profile() EngineProfile {
+	if e.prof == nil {
+		return EngineProfile{}
+	}
+	return *e.prof
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -126,6 +164,12 @@ func (e *Engine) At(t Time, fn func()) {
 	}
 	e.seq++
 	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	if e.prof != nil {
+		e.prof.HeapPushes++
+		if d := len(e.queue); d > e.prof.MaxDepth {
+			e.prof.MaxDepth = d
+		}
+	}
 }
 
 // Step executes the single earliest event. It reports false when the queue
@@ -135,6 +179,10 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.queue).(*event)
+	if e.prof != nil {
+		e.prof.HeapPops++
+		e.prof.Events++
+	}
 	e.now = ev.at
 	e.processed++
 	ev.fn()

@@ -313,3 +313,50 @@ func TestWatchdogRunForHonorsDeadline(t *testing.T) {
 		t.Fatal("RunFor past the deadline did not trip")
 	}
 }
+
+func TestProfilingDisabledByDefault(t *testing.T) {
+	e := NewEngine()
+	if e.ProfilingEnabled() {
+		t.Fatal("fresh engine reports profiling enabled")
+	}
+	e.Schedule(0, func() {})
+	e.Run()
+	if p := e.Profile(); p != (EngineProfile{}) {
+		t.Fatalf("disabled profile not zero: %+v", p)
+	}
+}
+
+func TestProfilingCounters(t *testing.T) {
+	e := NewEngine()
+	e.EnableProfiling()
+	// Three leaf events plus one that schedules two more: 6 pushes, 6 pops.
+	for i := 0; i < 3; i++ {
+		e.Schedule(Time(i)*Microsecond, func() {})
+	}
+	e.Schedule(5*Microsecond, func() {
+		e.Schedule(Microsecond, func() {})
+		e.Schedule(2*Microsecond, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p := e.Profile()
+	if p.Events != 6 || p.HeapPushes != 6 || p.HeapPops != 6 {
+		t.Fatalf("counters: %+v, want 6 events/pushes/pops", p)
+	}
+	// All four initial events were pending at once before any ran.
+	if p.MaxDepth != 4 {
+		t.Fatalf("MaxDepth = %d, want 4", p.MaxDepth)
+	}
+}
+
+func TestProfilingReenableResets(t *testing.T) {
+	e := NewEngine()
+	e.EnableProfiling()
+	e.Schedule(0, func() {})
+	e.Run()
+	e.EnableProfiling()
+	if p := e.Profile(); p.Events != 0 || p.HeapPushes != 0 {
+		t.Fatalf("re-enable did not reset: %+v", p)
+	}
+}

@@ -71,6 +71,34 @@ func (s *Summary) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
 
+// Merge folds other into s using the parallel Welford combination, as if
+// every observation of other had been Added to s. Merging an empty
+// summary is a no-op; merging into an empty summary copies other. The
+// combination is deterministic for a fixed pair of inputs, so merges
+// performed in a fixed order (the telemetry fork-tree rule) produce
+// byte-identical results run over run.
+func (s *Summary) Merge(other *Summary) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	n1, n2 := float64(s.n), float64(other.n)
+	d := other.mean - s.mean
+	s.m2 += other.m2 + d*d*n1*n2/(n1+n2)
+	s.mean += d * n2 / (n1 + n2)
+	s.sum += other.sum
+	s.n += other.n
+}
+
 // Reset clears the summary.
 func (s *Summary) Reset() { *s = Summary{} }
 
@@ -253,13 +281,17 @@ func Correlation(a, b []float64) float64 {
 }
 
 // Histogram is a fixed-width-bucket histogram over [lo, hi); values outside
-// the range are clamped into the edge buckets.
+// the range are clamped into the edge buckets. Out-of-range observations
+// are never dropped: they land in the nearest edge bucket, count toward
+// Total, and are tallied separately by OutOfRange so callers can detect a
+// mis-sized range.
 type Histogram struct {
-	lo, hi  float64
-	width   float64
-	counts  []uint64
-	total   uint64
-	summary Summary
+	lo, hi     float64
+	width      float64
+	counts     []uint64
+	total      uint64
+	outOfRange uint64
+	summary    Summary
 }
 
 // NewHistogram creates a histogram with n buckets over [lo, hi). It panics
@@ -271,22 +303,53 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), counts: make([]uint64, n)}
 }
 
-// Add records one observation.
+// Add records one observation. Values below lo clamp into bucket 0,
+// values at or above hi clamp into the last bucket; both still count
+// toward Total and the out-of-range tally.
 func (h *Histogram) Add(x float64) {
 	h.total++
 	h.summary.Add(x)
 	i := int((x - h.lo) / h.width)
-	if i < 0 {
+	if i < 0 || x < h.lo {
 		i = 0
-	}
-	if i >= len(h.counts) {
+		h.outOfRange++
+	} else if i >= len(h.counts) {
 		i = len(h.counts) - 1
+		h.outOfRange++
 	}
 	h.counts[i]++
 }
 
 // Total returns the number of observations.
 func (h *Histogram) Total() uint64 { return h.total }
+
+// OutOfRange returns how many observations fell outside [lo, hi) and were
+// clamped into an edge bucket.
+func (h *Histogram) OutOfRange() uint64 { return h.outOfRange }
+
+// Merge folds other's observations into h. The two histograms must share
+// an identical bucket layout (same lo, hi, and bucket count); a mismatch
+// returns an explicit error and leaves h untouched, never a silently
+// corrupted distribution. A nil or empty other is a no-op.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if h.lo != other.lo || h.hi != other.hi || len(h.counts) != len(other.counts) {
+		return fmt.Errorf("stats: histogram layout mismatch: [%g,%g)/%d vs [%g,%g)/%d",
+			h.lo, h.hi, len(h.counts), other.lo, other.hi, len(other.counts))
+	}
+	if other.total == 0 {
+		return nil
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.outOfRange += other.outOfRange
+	h.summary.Merge(&other.summary)
+	return nil
+}
 
 // Count returns the count in bucket i.
 func (h *Histogram) Count(i int) uint64 { return h.counts[i] }

@@ -344,3 +344,158 @@ func TestHistogramQuantileClamps(t *testing.T) {
 		t.Error("quantile bounds are NaN")
 	}
 }
+
+// TestSummaryMerge: the parallel Welford combination must agree with a
+// single-stream summary over the concatenated observations.
+func TestSummaryMerge(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7}
+	split := 5
+	var a, b, whole Summary
+	for _, x := range xs[:split] {
+		a.Add(x)
+		whole.Add(x)
+	}
+	for _, x := range xs[split:] {
+		b.Add(x)
+		whole.Add(x)
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged n/min/max = %d/%v/%v, want %d/%v/%v",
+			a.N(), a.Min(), a.Max(), whole.N(), whole.Min(), whole.Max())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-12 {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if math.Abs(a.Variance()-whole.Variance()) > 1e-9 {
+		t.Errorf("merged variance = %v, want %v", a.Variance(), whole.Variance())
+	}
+	if math.Abs(a.Sum()-whole.Sum()) > 1e-12 {
+		t.Errorf("merged sum = %v, want %v", a.Sum(), whole.Sum())
+	}
+}
+
+// TestSummaryMergeEmptySides: merging an empty summary is a no-op, and
+// merging into an empty summary adopts the donor wholesale.
+func TestSummaryMergeEmptySides(t *testing.T) {
+	var empty, filled Summary
+	filled.Add(2)
+	filled.Add(4)
+	before := filled
+	filled.Merge(&empty)
+	if filled != before {
+		t.Error("merging an empty summary changed the receiver")
+	}
+	filled.Merge(nil)
+	if filled != before {
+		t.Error("merging nil changed the receiver")
+	}
+	var dst Summary
+	dst.Merge(&filled)
+	if dst != filled {
+		t.Errorf("empty.Merge(filled) = %+v, want %+v", dst, filled)
+	}
+}
+
+// TestHistogramOutOfRange: values outside [lo, hi) clamp into the edge
+// buckets, still count toward Total, and are tallied by OutOfRange.
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(10, 110, 10)
+	h.Add(-50)  // below lo → bucket 0
+	h.Add(9.99) // just below lo → bucket 0
+	h.Add(110)  // == hi → last bucket ([lo,hi) is half-open)
+	h.Add(1e9)  // far above → last bucket
+	h.Add(55)   // in range
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d, want 5 (clamped values must still count)", h.Total())
+	}
+	if h.OutOfRange() != 4 {
+		t.Errorf("OutOfRange = %d, want 4", h.OutOfRange())
+	}
+	if h.Count(0) != 2 {
+		t.Errorf("edge bucket 0 count = %d, want 2", h.Count(0))
+	}
+	if h.Count(h.Buckets()-1) != 2 {
+		t.Errorf("last bucket count = %d, want 2", h.Count(h.Buckets()-1))
+	}
+}
+
+// TestHistogramSingleSample: every quantile of a one-observation histogram
+// answers from the single occupied bucket, never 0 or the far range edge.
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	h.Add(42)
+	want := h.BucketLow(4) + 5 // mid of the occupied [40,50) bucket
+	for _, q := range []float64{0, 0.5, 0.95, 0.99} {
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+// TestHistogramMerge: merging equal layouts concatenates distributions;
+// counts, totals, out-of-range tallies, and summary moments all add up.
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 100, 10)
+	b := NewHistogram(0, 100, 10)
+	whole := NewHistogram(0, 100, 10)
+	for _, x := range []float64{5, 15, 200} {
+		a.Add(x)
+		whole.Add(x)
+	}
+	for _, x := range []float64{-3, 55, 95} {
+		b.Add(x)
+		whole.Add(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != whole.Total() || a.OutOfRange() != whole.OutOfRange() {
+		t.Fatalf("merged total/oor = %d/%d, want %d/%d",
+			a.Total(), a.OutOfRange(), whole.Total(), whole.OutOfRange())
+	}
+	for i := 0; i < whole.Buckets(); i++ {
+		if a.Count(i) != whole.Count(i) {
+			t.Errorf("bucket %d: merged %d, want %d", i, a.Count(i), whole.Count(i))
+		}
+	}
+	if a.Mean() != whole.Mean() {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("Quantile(%v): merged %v, want %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+// TestHistogramMergeMismatch: layout mismatches are an explicit error and
+// leave the receiver untouched — never a silently corrupted merge.
+func TestHistogramMergeMismatch(t *testing.T) {
+	base := NewHistogram(0, 100, 10)
+	base.Add(50)
+	for _, bad := range []*Histogram{
+		NewHistogram(0, 200, 10), // different hi
+		NewHistogram(10, 100, 9), // different lo and bucket count
+		NewHistogram(0, 100, 20), // different bucket count
+	} {
+		bad.Add(60)
+		if err := base.Merge(bad); err == nil {
+			t.Errorf("Merge of mismatched layout %v..%v/%d: want error, got nil",
+				bad.lo, bad.hi, bad.Buckets())
+		}
+	}
+	if base.Total() != 1 || base.Count(5) != 1 {
+		t.Error("failed merge mutated the receiver")
+	}
+	if err := base.Merge(nil); err != nil {
+		t.Errorf("Merge(nil) = %v, want no-op", err)
+	}
+	// Merging an empty same-layout histogram is also a no-op.
+	if err := base.Merge(NewHistogram(0, 100, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if base.Total() != 1 {
+		t.Error("merging an empty histogram changed the total")
+	}
+}

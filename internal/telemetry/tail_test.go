@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTailHistEmpty(t *testing.T) {
+	var h TailHist
+	if h.Count() != 0 || h.Quantile(0.99) != 0 || h.Max() != 0 {
+		t.Fatalf("empty hist not all-zero: count=%d p99=%g max=%g", h.Count(), h.Quantile(0.99), h.Max())
+	}
+}
+
+func TestTailHistSingleSample(t *testing.T) {
+	var h TailHist
+	h.Observe(137)
+	// Every quantile of a single observation covers that observation;
+	// bucketed quantiles report the bucket's upper bound, at or above it.
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 137 || got > 137*1.1 {
+			t.Fatalf("Quantile(%g) = %g, want within 10%% above 137", q, got)
+		}
+	}
+	if h.Max() != 137 {
+		t.Fatalf("Max = %g, want exact 137", h.Max())
+	}
+}
+
+func TestTailHistQuantileBounds(t *testing.T) {
+	var h TailHist
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 < 500 || p50 > 500*1.1 {
+		t.Fatalf("p50 = %g, want 500..550", p50)
+	}
+	if p99 < 990 || p99 > 990*1.1 {
+		t.Fatalf("p99 = %g, want 990..1089", p99)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Fatalf("p100 = %g, want exact max 1000", got)
+	}
+}
+
+func TestTailHistClamping(t *testing.T) {
+	var h TailHist
+	h.Observe(-5)  // negative → 0 → bucket 0
+	h.Observe(0.1) // below 1µs → bucket 0
+	h.Observe(1e9) // beyond top bound → clamped into last bucket
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3 (clamped values never dropped)", h.Count())
+	}
+	if h.Max() != 1e9 {
+		t.Fatalf("Max = %g, want exact 1e9", h.Max())
+	}
+	if got := h.Quantile(1); got != 1e9 {
+		t.Fatalf("top-bucket quantile = %g, want exact max", got)
+	}
+}
+
+func TestTailHistMergeEquivalence(t *testing.T) {
+	// Observing a stream split across two hists then merged must yield
+	// the same quantiles as observing it in one hist.
+	var whole, a, b TailHist
+	for i := 1; i <= 600; i++ {
+		v := float64(i * 7 % 977)
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count %d != %d", a.Count(), whole.Count())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("Quantile(%g): merged %g != whole %g", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+	if a.Max() != whole.Max() {
+		t.Fatalf("merged max %g != %g", a.Max(), whole.Max())
+	}
+}
+
+func TestTailTrackerWindows(t *testing.T) {
+	eng := sim.NewEngine()
+	out := NewTailSeries()
+	tr := NewTailTracker(eng, 10*sim.Millisecond, out)
+	var windows []sim.Time
+	tr.OnWindow = func(at sim.Time, rows []TailRow) { windows = append(windows, at) }
+	tr.Start()
+	// Two observations in window 1, one in window 2, none in window 3.
+	eng.At(2*sim.Millisecond, func() { tr.Observe("ssd", 100); tr.ObserveVMDK(3, 250) })
+	eng.At(15*sim.Millisecond, func() { tr.Observe("ssd", 400) })
+	if err := eng.RunUntil(35 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	tr.Stop()
+	rows := out.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (ssd+vmdk3 @10ms, ssd @20ms)", len(rows))
+	}
+	// Keys flush in sorted order within a window.
+	if rows[0].Key != "ssd" || rows[0].At != 10*sim.Millisecond || rows[0].Count != 1 {
+		t.Fatalf("row0 = %+v", rows[0])
+	}
+	if rows[1].Key != "vmdk3" || rows[1].At != 10*sim.Millisecond {
+		t.Fatalf("row1 = %+v", rows[1])
+	}
+	if rows[2].Key != "ssd" || rows[2].At != 20*sim.Millisecond || rows[2].Count != 1 {
+		t.Fatalf("row2 = %+v", rows[2])
+	}
+	if len(windows) != 2 {
+		t.Fatalf("OnWindow fired %d times, want 2 (empty windows skipped)", len(windows))
+	}
+	// Lifetime summary survives window resets.
+	s := tr.Summary("ssd")
+	if s.Count != 2 || s.MaxUS != 400 {
+		t.Fatalf("lifetime ssd summary = %+v", s)
+	}
+	if got := tr.Keys(); len(got) != 2 || got[0] != "ssd" || got[1] != "vmdk3" {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+func TestTailTrackerNil(t *testing.T) {
+	var tr *TailTracker
+	tr.Observe("x", 1) // must not panic
+	tr.ObserveVMDK(1, 1)
+	tr.Start()
+	tr.Stop()
+	if tr.Enabled() || tr.Keys() != nil || tr.Summary("x") != (TailSummary{}) {
+		t.Fatal("nil tracker not inert")
+	}
+}
+
+func TestTailSeriesMergePrefixedAndCSV(t *testing.T) {
+	a, b := NewTailSeries(), NewTailSeries()
+	a.Append(TailRow{At: 10 * sim.Millisecond, Key: "ssd", Count: 2, P50US: 1.5, P95US: 3, P99US: 3, MaxUS: 3.25})
+	b.Append(TailRow{At: 10 * sim.Millisecond, Key: "ssd", Count: 1, P50US: 9, P95US: 9, P99US: 9, MaxUS: 9})
+	merged := NewTailSeries()
+	merged.MergePrefixed(a, "sys0.")
+	merged.MergePrefixed(b, "sys1.")
+	var sb strings.Builder
+	if err := merged.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "time_ms,key,count,p50_us,p95_us,p99_us,max_us\n" +
+		"10.000,sys0.ssd,2,1.5,3,3,3.25\n" +
+		"10.000,sys1.ssd,1,9,9,9,9\n"
+	if sb.String() != want {
+		t.Fatalf("CSV:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
