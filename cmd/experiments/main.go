@@ -7,7 +7,7 @@
 //	             table5|fig4|fig5|fig7|fig9|fig12|fig13|fig14|fig15|
 //	             fig16|fig17|tau|placement|dax|faults|ablations]
 //	            [-scale quick|full] [-seed N] [-jobs N]
-//	            [-policy SPEC]
+//	            [-policy SPEC] [-exp chaos -scenarios N]
 //	            [-trace-out FILE] [-metrics-out FILE] [-sample-ms N]
 //	            [-tail-out FILE] [-tail-ms N]
 //
@@ -17,6 +17,13 @@
 // compared against the canonical lineup on the Fig. 12 single-node
 // interference mix. The matrix experiments and their outputs are
 // untouched.
+//
+// -exp chaos runs the crash/invariant harness instead of the matrix:
+// -scenarios randomized fault+crash scenarios (derived from -seed)
+// execute with the structural invariant checker armed, and the process
+// exits nonzero if any scenario violates an invariant — the report then
+// carries the offending scenario's seed, spec, and a one-line
+// reproduction command. -scale full doubles the per-scenario run time.
 //
 // -jobs N shards independent experiment cells (and the sweep points
 // inside them) across min(N, cells) worker goroutines; 0 means
@@ -40,6 +47,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/sim"
@@ -52,6 +60,7 @@ func main() {
 	seed := flag.Uint64("seed", 99, "model-training seed")
 	jobs := flag.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS, 1 = sequential)")
 	policySpec := flag.String("policy", "", "run a policy study for this spec instead of the matrix (scheme name or stage composition)")
+	scenarios := flag.Int("scenarios", 64, "scenario count for -exp chaos")
 	traceOut := flag.String("trace-out", "", "write spans from every built system (Chrome trace JSON; .jsonl = line-delimited)")
 	metricsOut := flag.String("metrics-out", "", "write sampled metrics from every built system as CSV")
 	sampleMS := flag.Int("sample-ms", 25, "metric sampling interval in simulated milliseconds")
@@ -82,6 +91,27 @@ func main() {
 		sim.Time(*sampleMS)*sim.Millisecond, tailEvery)
 	scale.Scope = scope
 	scale.Jobs = *jobs
+
+	if strings.ToLower(*exp) == "chaos" {
+		// The chaos harness is dispatched outside the matrix (like -policy):
+		// its scenarios arm fault injection and invariant checking, which
+		// must never perturb the matrix experiments' golden outputs.
+		copts := chaos.Options{Seed: *seed, Scenarios: *scenarios, Jobs: *jobs}
+		if *scaleName == "full" {
+			copts.RunTime = 400 * sim.Millisecond
+			copts.FootprintDivisor = 1024
+		}
+		result, err := chaos.Run(copts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("===== chaos =====\n%s\n", result)
+		if err := result.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *policySpec != "" {
 		fmt.Fprintln(os.Stderr, "training NVDIMM performance model...")

@@ -13,6 +13,7 @@
 //	       [-trace-out FILE] [-metrics-out FILE] [-sample-ms N] [-declog N]
 //	       [-tail-out FILE] [-tail-ms N] [-slo SPEC]
 //	       [-fault-spec SPEC] [-max-events N]
+//	       [-invariants] [-footprint-div N]
 //
 // With -policy the management scheme is given as a policy spec instead
 // of a name: either a canonical scheme name or a comma-separated stage
@@ -52,6 +53,13 @@
 // faultinject package for the grammar); the report then includes injector
 // totals and the manager's retry/abort/quarantine counters. -max-events
 // arms a watchdog that aborts runaway runs.
+//
+// With -invariants the structural invariant checker runs at every
+// management epoch, after every crash recovery, and once after the drain;
+// the run exits nonzero if any check fails, printing every violation.
+// This is the flag chaos-harness reproduction commands use (see
+// internal/chaos). -footprint-div overrides the application footprint
+// divisor so such commands can match the harness's scaled-down VMDKs.
 package main
 
 import (
@@ -112,6 +120,8 @@ func main() {
 	sloSpec := flag.String("slo", "", `tail-latency SLO objectives, e.g. "p99=500" or "store=node0-nvdimm:p95=50us;vmdk=3:max=2ms"`)
 	faultSpec := flag.String("fault-spec", "", `deterministic fault injection, e.g. "dev=node0-nvdimm:errate=0.2@40ms..240ms;link=0-1:drop=0.1"`)
 	maxEvents := flag.Uint64("max-events", 0, "abort the run after this many engine events (0 = unlimited)")
+	invariants := flag.Bool("invariants", false, "arm the structural invariant checker; exit nonzero on any violation")
+	footprintDiv := flag.Int64("footprint-div", 0, "application footprint divisor (0 = the core default, 256)")
 	replicas := flag.Int("replicas", 1, "run the configuration N times under different seeds")
 	replicaSeeds := flag.String("replica-seeds", "", "comma-separated seeds, one per replica (default: seed, seed+1, ...)")
 	jobs := flag.Int("jobs", 0, "parallel replica jobs (0 = GOMAXPROCS, 1 = sequential)")
@@ -174,6 +184,8 @@ func main() {
 		SLOSpec:             *sloSpec,
 		FaultSpec:           *faultSpec,
 		MaxEvents:           *maxEvents,
+		Invariants:          *invariants,
+		FootprintDivisor:    *footprintDiv,
 	}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
@@ -206,6 +218,12 @@ func main() {
 	printReport(sys.Report())
 	if sys.Injector != nil {
 		fmt.Printf("fault injection:     %s\n", sys.Injector.Stats())
+	}
+	if *invariants {
+		fmt.Printf("%s\n", sys.Invariants)
+		if err := sys.Invariants.Err(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *decLog > 0 {
 		l := sys.Manager.Log()

@@ -31,6 +31,11 @@ type Cache interface {
 	MarkDirty(block int64) bool
 	// Contains reports residency without touching recency or stats.
 	Contains(block int64) bool
+	// Invalidate empties the cache without write-backs — the power-loss
+	// path (DRAM cache contents are volatile; dirty lines are covered by
+	// flush-on-fail circuitry, so dropping them loses no data). Hit/miss
+	// statistics survive.
+	Invalidate()
 	// Len returns the number of resident blocks.
 	Len() int
 	// Cap returns the capacity in blocks.
@@ -215,6 +220,12 @@ func (c *LRFU) Contains(block int64) bool {
 	return ok
 }
 
+// Invalidate implements Cache.
+func (c *LRFU) Invalidate() {
+	c.entries = make(map[int64]*lrfuEntry, c.capacity)
+	c.heap = nil
+}
+
 // Len implements Cache.
 func (c *LRFU) Len() int { return len(c.entries) }
 
@@ -324,6 +335,12 @@ func (c *LRU) MarkDirty(block int64) bool {
 func (c *LRU) Contains(block int64) bool {
 	_, ok := c.entries[block]
 	return ok
+}
+
+// Invalidate implements Cache.
+func (c *LRU) Invalidate() {
+	c.entries = make(map[int64]*lruNode, c.capacity)
+	c.head, c.tail = nil, nil
 }
 
 // Len implements Cache.

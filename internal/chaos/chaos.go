@@ -1,0 +1,307 @@
+// Package chaos is the invariant-checking crash harness: it derives a
+// randomized-but-deterministic batch of fault+crash scenarios from one
+// seed, runs each through an independent core.System with the structural
+// invariant checker armed, and reports every violation together with a
+// one-line reproduction command. The schedule is a pure function of
+// (seed, scenario count, run time): byte-identical output for any Jobs
+// value, per DESIGN.md §9, so a CI failure names exactly the scenario
+// that broke and nothing about the failure depends on worker timing.
+//
+// Every scenario crashes something — a whole node or a single device —
+// partway through the run, on top of optional background noise (device
+// error bursts, lossy inter-node links). The schemes in rotation are the
+// model-free lineup (BASIL, Pesto, LightSRM, and the lazy-redirect
+// composition), which keeps the harness self-contained: no performance-
+// model training pass, so scenarios stay cheap enough to fan out widely.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/mgmt"
+	"repro/internal/mgmt/policy"
+	"repro/internal/runpool"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// chaosSalt decorrelates scenario derivation from every other consumer of
+// the run seed.
+const chaosSalt = 0xC4A05C4A05C4A050
+
+// schemeLineup is the model-free scheme rotation. Label is the short name
+// printed in the table; Spec is what policy.Parse receives.
+var schemeLineup = []struct{ Label, Spec string }{
+	{"basil", "basil"},
+	{"pesto", "pesto"},
+	{"lightsrm", "lightsrm"},
+	{"lazy-redirect", "name=lazy-redirect,est=measured,exec=redirect,gate=copy,tag=on"},
+}
+
+// Options configures a chaos batch. Zero values select the CI smoke
+// defaults.
+type Options struct {
+	// Seed derives the whole scenario schedule (default 1).
+	Seed uint64
+	// Scenarios is the batch size (default 64).
+	Scenarios int
+	// Jobs caps the scenario fan-out like runpool.Do: 0 selects
+	// min(GOMAXPROCS, scenarios), 1 forces the sequential reference
+	// schedule the parallel runs must be byte-equivalent to.
+	Jobs int
+	// RunTime is the simulated duration of each scenario (default 200ms).
+	RunTime sim.Time
+	// FootprintDivisor scales application footprints down (default 2048:
+	// small VMDKs so migrations start, crash, and recover within RunTime).
+	FootprintDivisor int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Scenarios <= 0 {
+		o.Scenarios = 64
+	}
+	if o.RunTime <= 0 {
+		o.RunTime = 200 * sim.Millisecond
+	}
+	if o.FootprintDivisor <= 0 {
+		o.FootprintDivisor = 2048
+	}
+	return o
+}
+
+// Scenario is one derived crash experiment: everything needed to rebuild
+// the exact system is in the struct, so a failure report reproduces with
+// a single hsmsim invocation.
+type Scenario struct {
+	// Index is the scenario's position in the batch.
+	Index int
+	// Seed is the system seed (derived, never the batch seed itself).
+	Seed uint64
+	// Nodes is the cluster size (1 or 2).
+	Nodes int
+	// Scheme is the short scheme label from the lineup.
+	Scheme string
+	// SchemeSpec is the policy spec that builds the scheme.
+	SchemeSpec string
+	// Apps is the three-application workload subset.
+	Apps []string
+	// FaultSpec is the full fault+crash injection spec.
+	FaultSpec string
+}
+
+// Repro renders the one-line command that reruns exactly this scenario
+// (same management config as cmd/hsmsim's defaults, which the harness
+// deliberately mirrors).
+func (sc Scenario) Repro(o Options) string {
+	return fmt.Sprintf(
+		"go run ./cmd/hsmsim -nodes %d -policy %q -seed %d -duration %d -apps %s -mem '' -footprint-div %d -fault-spec %q -invariants",
+		sc.Nodes, sc.SchemeSpec, sc.Seed, int64(o.RunTime/sim.Millisecond),
+		strings.Join(sc.Apps, ","), o.FootprintDivisor, sc.FaultSpec)
+}
+
+// scenario derives scenario i from the batch seed. Each index owns an
+// independent RNG, so the schedule neither depends on generation order
+// nor re-times when the batch grows.
+func (o Options) scenario(i int) (Scenario, error) {
+	rng := sim.NewRNG(o.Seed*0x9E3779B97F4A7C15 ^ chaosSalt ^ uint64(i+1)*0xBF58476D1CE4E5B9)
+	sc := Scenario{Index: i}
+	sc.Seed = rng.Uint64()
+	if sc.Seed == 0 {
+		sc.Seed = 1 // seed 0 would be rewritten to the core default
+	}
+	sc.Nodes = 1 + rng.Intn(2)
+	pick := schemeLineup[rng.Intn(len(schemeLineup))]
+	sc.Scheme, sc.SchemeSpec = pick.Label, pick.Spec
+
+	// Three distinct applications via a partial Fisher-Yates shuffle.
+	all := workload.BigDataApps()
+	idx := make([]int, len(all))
+	for j := range idx {
+		idx[j] = j
+	}
+	for j := 0; j < 3; j++ {
+		k := j + rng.Intn(len(idx)-j)
+		idx[j], idx[k] = idx[k], idx[j]
+		sc.Apps = append(sc.Apps, all[idx[j]].Name)
+	}
+
+	// The crash lands between 15% and 75% of the run: late enough that
+	// migrations are in flight, early enough that recovery has time to
+	// finish (or to be observed mid-unwind by the final sweep).
+	runUS := int64(o.RunTime / sim.Microsecond)
+	crashUS := runUS*15/100 + rng.Int63n(runUS*60/100)
+	crashNode := rng.Intn(sc.Nodes)
+	crashDev := ""
+	var parts []string
+	switch rng.Intn(3) {
+	case 0:
+		parts = append(parts, fmt.Sprintf("node=%d:crash@%dus", crashNode, crashUS))
+	case 1:
+		crashDev = fmt.Sprintf("node%d-nvdimm", crashNode)
+	case 2:
+		crashDev = fmt.Sprintf("node%d-ssd", crashNode)
+	}
+	if crashDev != "" {
+		parts = append(parts, fmt.Sprintf("dev=%s:crash@%dus", crashDev, crashUS))
+	}
+	// Background noise: an error burst on some other device, so crashes
+	// compose with the quarantine/evacuation machinery, not just with
+	// healthy migrations.
+	if rng.Bool(0.5) {
+		kinds := []string{"nvdimm", "ssd"}
+		dev := fmt.Sprintf("node%d-%s", rng.Intn(sc.Nodes), kinds[rng.Intn(2)])
+		if dev != crashDev {
+			from := runUS / 10
+			to := from + runUS/2
+			p := 0.05 + 0.3*rng.Float64()
+			parts = append(parts, fmt.Sprintf("dev=%s:errate=%.2f@%dus..%dus", dev, p, from, to))
+		}
+	}
+	if sc.Nodes == 2 && rng.Bool(0.4) {
+		parts = append(parts, fmt.Sprintf("link=0-1:drop=%.2f,stall=%dus",
+			0.05+0.2*rng.Float64(), 100+rng.Int63n(400)))
+	}
+	sc.FaultSpec = strings.Join(parts, ";")
+	if _, err := faultinject.ParseSpec(sc.FaultSpec); err != nil {
+		return sc, fmt.Errorf("generated spec %q does not parse: %w", sc.FaultSpec, err)
+	}
+	return sc, nil
+}
+
+// ScenarioResult is one scenario's outcome.
+type ScenarioResult struct {
+	Scenario
+	// Crashes and CrashFailed are the injector's power-loss census.
+	Crashes, CrashFailed uint64
+	// Resumes and Rollbacks count the recovery verdicts the manager took.
+	Resumes, Rollbacks uint64
+	// Checks is how many invariant sweeps ran.
+	Checks uint64
+	// Violations holds every recorded invariant violation, rendered.
+	Violations []string
+}
+
+// Result is a completed chaos batch.
+type Result struct {
+	// Scenarios holds per-scenario outcomes in schedule order.
+	Scenarios []ScenarioResult
+
+	opts Options
+}
+
+// Violations sums recorded violations across the batch.
+func (r *Result) Violations() int {
+	n := 0
+	for _, sc := range r.Scenarios {
+		n += len(sc.Violations)
+	}
+	return n
+}
+
+// Err returns nil when every scenario held every invariant, or an error
+// naming the first offender and its reproduction command.
+func (r *Result) Err() error {
+	for _, sc := range r.Scenarios {
+		if len(sc.Violations) > 0 {
+			return fmt.Errorf("chaos: scenario %d violated %d invariant(s): %s\nrepro: %s",
+				sc.Index, len(sc.Violations), sc.Violations[0], sc.Repro(r.opts))
+		}
+	}
+	return nil
+}
+
+// String renders the deterministic batch report: one row per scenario,
+// violation details (with repro commands) for offenders, and a summary
+// line. Byte-identical for every Jobs value.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos batch (seed %d, %d scenarios, %v each)\n",
+		r.opts.Seed, r.opts.Scenarios, r.opts.RunTime)
+	fmt.Fprintf(&b, "%4s  %-13s %5s %5s %7s %7s %8s %6s %4s\n",
+		"idx", "scheme", "nodes", "crash", "lost", "resume", "rollback", "checks", "viol")
+	for _, sc := range r.Scenarios {
+		fmt.Fprintf(&b, "%4d  %-13s %5d %5d %7d %7d %8d %6d %4d\n",
+			sc.Index, sc.Scheme, sc.Nodes, sc.Crashes, sc.CrashFailed,
+			sc.Resumes, sc.Rollbacks, sc.Checks, len(sc.Violations))
+	}
+	for _, sc := range r.Scenarios {
+		if len(sc.Violations) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "scenario %d VIOLATED (spec %q):\n", sc.Index, sc.FaultSpec)
+		for _, v := range sc.Violations {
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+		fmt.Fprintf(&b, "  repro: %s\n", sc.Repro(r.opts))
+	}
+	fmt.Fprintf(&b, "chaos: %d scenarios, %d violations", len(r.Scenarios), r.Violations())
+	return b.String()
+}
+
+// Run executes the batch. Scenario construction or simulation errors (as
+// opposed to invariant violations, which land in the Result) abort the
+// batch with the offending scenario's label attached.
+func Run(o Options) (*Result, error) {
+	o = o.withDefaults()
+	scenarios := make([]Scenario, o.Scenarios)
+	for i := range scenarios {
+		sc, err := o.scenario(i)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: scenario %d: %w", i, err)
+		}
+		scenarios[i] = sc
+	}
+	outs, errs := runpool.DoLabeled(o.Jobs, len(scenarios),
+		func(i int) string { return fmt.Sprintf("seed=%d spec=%q", scenarios[i].Seed, scenarios[i].FaultSpec) },
+		func(i int) (ScenarioResult, error) { return o.run(scenarios[i]) })
+	if err := runpool.FirstError(errs); err != nil {
+		return nil, err
+	}
+	return &Result{Scenarios: outs, opts: o}, nil
+}
+
+// run executes one scenario on a private system with invariants armed.
+func (o Options) run(sc Scenario) (ScenarioResult, error) {
+	scheme, err := policy.Parse(sc.SchemeSpec)
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("chaos: scenario %d: %w", sc.Index, err)
+	}
+	// Mirror cmd/hsmsim's management defaults so Repro() is exact.
+	cfg := mgmt.DefaultConfig()
+	cfg.Window = 10 * sim.Millisecond
+	cfg.MinWindowRequests = 3
+	sys, err := core.NewSystem(core.Options{
+		Nodes:            sc.Nodes,
+		Scheme:           scheme,
+		Mgmt:             cfg,
+		Seed:             sc.Seed,
+		Apps:             sc.Apps,
+		FootprintDivisor: o.FootprintDivisor,
+		FaultSpec:        sc.FaultSpec,
+		Invariants:       true,
+	})
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("chaos: scenario %d (%s): %w", sc.Index, sc.FaultSpec, err)
+	}
+	if err := sys.Run(o.RunTime); err != nil {
+		return ScenarioResult{}, fmt.Errorf("chaos: scenario %d (%s): %w", sc.Index, sc.FaultSpec, err)
+	}
+	rep := sys.Report()
+	res := ScenarioResult{
+		Scenario:  sc,
+		Resumes:   rep.Migration.RecoveryResumes,
+		Rollbacks: rep.Migration.RecoveryRollbacks,
+		Checks:    rep.InvariantRuns,
+	}
+	res.Crashes, res.CrashFailed = sys.Injector.Stats().CrashTotals()
+	for _, v := range sys.Invariants.Violations() {
+		res.Violations = append(res.Violations, fmt.Sprintf("@%dns %s", int64(v.At), v.Violation))
+	}
+	return res, nil
+}

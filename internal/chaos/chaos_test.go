@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScheduleDeterministic: the scenario schedule is a pure function of
+// the batch seed — regeneration yields identical scenarios, and a longer
+// batch is a strict prefix-extension (index-independent derivation).
+func TestScheduleDeterministic(t *testing.T) {
+	o := Options{Seed: 7, Scenarios: 6}.withDefaults()
+	a := make([]Scenario, 6)
+	for i := range a {
+		sc, err := o.scenario(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a[i] = sc
+	}
+	for i := range a {
+		sc, err := o.scenario(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.FaultSpec != a[i].FaultSpec || sc.Seed != a[i].Seed || sc.SchemeSpec != a[i].SchemeSpec {
+			t.Fatalf("scenario %d diverged on regeneration: %+v vs %+v", i, sc, a[i])
+		}
+		if sc.FaultSpec == "" || len(sc.Apps) != 3 {
+			t.Fatalf("scenario %d malformed: %+v", i, sc)
+		}
+	}
+	wide := Options{Seed: 7, Scenarios: 64}.withDefaults()
+	sc3, err := wide.scenario(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc3.FaultSpec != a[3].FaultSpec {
+		t.Fatalf("growing the batch re-timed scenario 3: %q vs %q", sc3.FaultSpec, a[3].FaultSpec)
+	}
+}
+
+// TestBatchHoldsInvariants is the in-tree smoke slice of the CI chaos
+// job: a short batch where every scenario crashes something and no
+// invariant breaks.
+func TestBatchHoldsInvariants(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	r, err := Run(Options{Seed: 3, Scenarios: n, Jobs: 0, RunTime: defaultRunTimeForTest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range r.Scenarios {
+		if sc.Crashes == 0 {
+			t.Fatalf("scenario %d never crashed: %+v", sc.Index, sc.Scenario)
+		}
+		if sc.Checks == 0 {
+			t.Fatalf("scenario %d ran no invariant sweeps", sc.Index)
+		}
+	}
+	if !strings.Contains(r.String(), "0 violations") {
+		t.Fatalf("report: %s", r.String())
+	}
+}
+
+// TestJobsByteIdentity is the DESIGN.md §9 contract: the rendered batch
+// report is byte-identical for the sequential reference schedule and a
+// parallel one.
+func TestJobsByteIdentity(t *testing.T) {
+	n := 8
+	if testing.Short() {
+		n = 3
+	}
+	run := func(jobs int) string {
+		r, err := Run(Options{Seed: 11, Scenarios: n, Jobs: jobs, RunTime: defaultRunTimeForTest()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.String()
+	}
+	seq, par := run(1), run(4)
+	if seq != par {
+		t.Fatalf("jobs=1 and jobs=4 reports diverged:\n--- jobs=1\n%s\n--- jobs=4\n%s", seq, par)
+	}
+}
+
+// TestReproLine pins the reproduction command format the CI failure
+// playbook documents.
+func TestReproLine(t *testing.T) {
+	o := Options{Seed: 1}.withDefaults()
+	sc, err := o.scenario(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := sc.Repro(o)
+	for _, want := range []string{"go run ./cmd/hsmsim", "-invariants", "-fault-spec", "-footprint-div", "-policy"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("repro line %q missing %q", line, want)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package chaos
+
+import "repro/internal/sim"
+
+// defaultRunTimeForTest shortens scenarios so the unit suite stays fast;
+// the CI chaos job runs the real 200ms default.
+func defaultRunTimeForTest() sim.Time { return 120 * sim.Millisecond }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/faultinject"
 	"repro/internal/hdd"
+	"repro/internal/invariant"
 	"repro/internal/memsched"
 	"repro/internal/mgmt"
 	"repro/internal/mgmt/slo"
@@ -94,6 +95,12 @@ type Options struct {
 	// out after processing this many events (0 = unbounded). A safety
 	// net against runaway event loops in scripted experiments.
 	MaxEvents uint64
+	// Invariants arms the structural-invariant checker: the manager
+	// sweeps bitmap/placement consistency, budget conservation, and
+	// quarantine legality at every epoch boundary and after each crash
+	// recovery, and Run performs a final sweep after the drain. Off by
+	// default (the checks cost a pointer test when disabled).
+	Invariants bool
 }
 
 func (o Options) withDefaults() Options {
@@ -175,6 +182,9 @@ type System struct {
 	// Injector is the armed fault injector (nil when Opts.FaultSpec is
 	// empty).
 	Injector *faultinject.Injector
+	// Invariants is the structural-invariant checker (nil unless
+	// Opts.Invariants).
+	Invariants *invariant.Checker
 
 	rng         *sim.RNG
 	samples     []WindowSample
@@ -213,6 +223,13 @@ func NewSystem(opts Options) (*System, error) {
 		if !spec.Empty() {
 			s.Injector = faultinject.New(s.Cluster.Eng, opts.Seed, spec)
 		}
+		if spec.HasCrash() {
+			// A crash spec without the journal would leave recovery blind;
+			// arm it here so every crash-carrying run gets the DESIGN §13
+			// recovery path. Journal-free runs stay byte-identical.
+			opts.Mgmt.Journal = true
+			s.Opts.Mgmt.Journal = true
+		}
 	}
 
 	for i := 0; i < opts.Nodes; i++ {
@@ -237,7 +254,10 @@ func NewSystem(opts Options) (*System, error) {
 			MemAggregation: 64,
 		}
 		if s.Injector != nil {
-			ncfg.WrapDevice = s.Injector.WrapDevice
+			node := i
+			ncfg.WrapDevice = func(d device.Device) device.Device {
+				return s.Injector.WrapDeviceOn(node, d)
+			}
 		}
 		node, err := s.Cluster.AddNode(ncfg, s.rng.Split())
 		if err != nil {
@@ -256,6 +276,9 @@ func NewSystem(opts Options) (*System, error) {
 		}
 		if max := s.Injector.MaxLinkNode(); max >= opts.Nodes {
 			return nil, fmt.Errorf("core: fault spec targets link node %d but only %d nodes exist", max, opts.Nodes)
+		}
+		if max := s.Injector.MaxCrashNode(); max >= opts.Nodes {
+			return nil, fmt.Errorf("core: fault spec crashes node %d but only %d nodes exist", max, opts.Nodes)
 		}
 	}
 
@@ -279,6 +302,26 @@ func NewSystem(opts Options) (*System, error) {
 	}
 	s.Manager.SetNetwork(network)
 	s.Manager.OnEpoch = s.observeEpoch
+	if opts.Invariants {
+		s.Invariants = invariant.NewChecker()
+		s.Manager.SetInvariants(s.Invariants)
+	}
+	if s.Injector != nil {
+		// Arm the crash schedule. At each crash instant the injector has
+		// already bumped the device power-loss generation (failing in-
+		// flight acks); here we tear down the volatile tier — the DRAM
+		// buffer cache — and hand the manager the scope for journal-driven
+		// recovery. Flash, FTL state, and resident extents persist.
+		s.Injector.Arm(func(c faultinject.Crash) {
+			if c.Node >= 0 && c.Node < len(s.Cluster.Nodes) {
+				node := s.Cluster.Nodes[c.Node]
+				if c.Device == "" || c.Device == node.NVDIMM.Name() {
+					node.NVDIMM.DropCache()
+				}
+			}
+			s.Manager.OnCrash(mgmt.CrashScope{Node: c.Node, Device: c.Device})
+		})
+	}
 
 	// Place VMDKs: §6.2 "initially assign workloads to servers randomly,
 	// but in a greedy manner so as to keep a space-balanced arrangement".
@@ -406,7 +449,13 @@ func (s *System) Run(d sim.Time) error {
 	s.Stop()
 	// Bound the drain: long-tail events (e.g. paused lazy migrations)
 	// must not spin forever.
-	return s.Cluster.Eng.RunFor(d / 4)
+	if err := s.Cluster.Eng.RunFor(d / 4); err != nil {
+		return err
+	}
+	// Final structural sweep: whatever state the run ended in must still
+	// satisfy the placement/bitmap/budget invariants.
+	s.Invariants.Check(s.Cluster.Eng.Now(), s.Manager.CheckInvariants)
+	return nil
 }
 
 // Report summarizes the run.
@@ -444,6 +493,9 @@ type Report struct {
 	// SLOWindows and SLOViolationWindows count inspected tail windows
 	// and (key, window) pairs in violation (0 without an SLO spec).
 	SLOWindows, SLOViolationWindows uint64
+	// InvariantRuns and InvariantViolations summarize the structural-
+	// invariant checker (both 0 when Opts.Invariants is off).
+	InvariantRuns, InvariantViolations uint64
 	// Elapsed is the simulated duration covered by the report.
 	Elapsed sim.Time
 }
@@ -521,6 +573,8 @@ func (s *System) Report() Report {
 	}
 	rep.SLOWindows = s.sloTracker.Windows()
 	rep.SLOViolationWindows = s.sloTracker.ViolationWindows()
+	rep.InvariantRuns = s.Invariants.Runs()
+	rep.InvariantViolations = uint64(len(s.Invariants.Violations()))
 	return rep
 }
 

@@ -2,10 +2,10 @@ package faultinject
 
 import "testing"
 
-// FuzzParseSpec checks the parser never panics and that every accepted
-// spec survives a canonical round-trip: String() re-parses to the same
-// canonical form.
-func FuzzParseSpec(f *testing.F) {
+// FuzzParseFaultSpec checks the parser never panics and that every
+// accepted spec — fault clauses and crash clauses alike — survives a
+// canonical round-trip: String() re-parses to the same canonical form.
+func FuzzParseFaultSpec(f *testing.F) {
 	for _, seed := range []string{
 		"",
 		"dev=node0-nvdimm:errate=0.4@40ms..240ms,degrade=6@40ms..240ms",
@@ -16,6 +16,14 @@ func FuzzParseSpec(f *testing.F) {
 		"link=0-0:drop=2",
 		"dev=a:errate=0.5@5ms..1ms",
 		"@..;;:,=",
+		"dev=node0-nvdimm:crash@80ms",
+		"node=0:crash@10ms..90ms",
+		"dev=a:crash@1ms..2ms,errate=0.5",
+		"node=1:crash@0",
+		"node=2:errate=0.5@1ms..2ms",
+		"link=0-1:crash@5ms",
+		"dev=a:crash",
+		"node=0:crash@3ms;node=0:crash@4ms",
 	} {
 		f.Add(seed)
 	}

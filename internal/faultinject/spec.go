@@ -11,18 +11,23 @@
 //
 //	spec    := clause { ";" clause }
 //	clause  := target ":" fault { "," fault }
-//	target  := "dev=" NAME | "link=" NODE "-" NODE
+//	target  := "dev=" NAME | "link=" NODE "-" NODE | "node=" NODE
 //	fault   := "errate=" PROB [ window ]     (device: per-request I/O error probability)
 //	         | "degrade=" FACTOR [ window ]  (device: latency multiplier, ≥ 1)
 //	         | "outage" window               (device: fails every request in the window)
+//	         | "crash" when                  (device/node: power loss, volatile state torn down)
 //	         | "drop=" PROB [ window ]       (link: per-transfer drop probability)
 //	         | "stall=" DUR [ window ]       (link: fixed extra delay per transfer)
 //	window  := "@" DUR ".." DUR              (absolute sim-time episode, From < To)
+//	when    := "@" DUR                       (exact sim instant, > 0)
+//	         | "@" DUR ".." DUR              (instant drawn from the window by the target's RNG)
 //
 // DUR is a Go duration ("50ms", "1.5s"); PROB is a float in [0,1]. A fault
-// without a window is active for the whole run. Example:
+// without a window is active for the whole run. "node=" clauses model a
+// whole-server power loss and accept only the crash fault; "crash" on a
+// "dev=" clause takes down just that device. Example:
 //
-//	dev=node0-nvdimm:errate=0.4@40ms..240ms,degrade=6@40ms..240ms;link=0-1:drop=0.2
+//	dev=node0-nvdimm:errate=0.4@40ms..240ms,degrade=6@40ms..240ms;link=0-1:drop=0.2;node=0:crash@120ms
 package faultinject
 
 import (
@@ -74,6 +79,12 @@ const (
 	FaultDrop
 	// FaultStall delays each link transfer by Stall.
 	FaultStall
+	// FaultCrash powers the target off and back on at one instant: either
+	// the exact time At, or a point the injector's seed-derived RNG draws
+	// from Win at arm time. In-flight I/O against the target errors and
+	// the management layer's volatile state for it is torn down per the
+	// per-device durability model (DESIGN.md §13).
+	FaultCrash
 )
 
 // String names the kind as it appears in the spec grammar.
@@ -89,6 +100,8 @@ func (k FaultKind) String() string {
 		return "drop"
 	case FaultStall:
 		return "stall"
+	case FaultCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("fault(%d)", uint8(k))
 	}
@@ -100,6 +113,7 @@ type Fault struct {
 	P      float64  // errate/drop probability in [0,1]
 	Factor float64  // degrade latency multiplier, >= 1
 	Stall  sim.Time // stall delay per transfer
+	At     sim.Time // crash: exact instant (0 = draw from Win)
 	Win    Window
 }
 
@@ -112,6 +126,11 @@ func (f Fault) String() string {
 		return fmt.Sprintf("degrade=%s%s", probString(f.Factor), f.Win)
 	case FaultStall:
 		return fmt.Sprintf("stall=%s%s", durString(f.Stall), f.Win)
+	case FaultCrash:
+		if f.At > 0 {
+			return fmt.Sprintf("crash@%s", durString(f.At))
+		}
+		return "crash" + f.Win.String()
 	default:
 		return "outage" + f.Win.String()
 	}
@@ -129,15 +148,40 @@ type LinkClause struct {
 	Faults []Fault
 }
 
+// NodeClause arms a whole-server power loss against one node: every
+// device on the node crashes at the same instant. Only crash faults are
+// legal here.
+type NodeClause struct {
+	Node   int
+	Faults []Fault
+}
+
 // Spec is a parsed fault specification. The zero value arms nothing.
 type Spec struct {
 	Devices []DeviceClause
 	Links   []LinkClause
+	Nodes   []NodeClause
 }
 
 // Empty reports whether the spec arms no faults at all.
 func (s *Spec) Empty() bool {
-	return s == nil || (len(s.Devices) == 0 && len(s.Links) == 0)
+	return s == nil || (len(s.Devices) == 0 && len(s.Links) == 0 && len(s.Nodes) == 0)
+}
+
+// HasCrash reports whether any clause arms a crash fault — the signal
+// core uses to arm migration journaling and crash recovery.
+func (s *Spec) HasCrash() bool {
+	if s == nil {
+		return false
+	}
+	for _, d := range s.Devices {
+		for _, f := range d.Faults {
+			if f.Kind == FaultCrash {
+				return true
+			}
+		}
+	}
+	return len(s.Nodes) > 0
 }
 
 // String renders the spec canonically (parse → String → parse round-trips).
@@ -157,6 +201,13 @@ func (s *Spec) String() string {
 		}
 		parts = append(parts, fmt.Sprintf("link=%d-%d:%s", l.A, l.B, strings.Join(fs, ",")))
 	}
+	for _, n := range s.Nodes {
+		fs := make([]string, len(n.Faults))
+		for i, f := range n.Faults {
+			fs[i] = f.String()
+		}
+		parts = append(parts, fmt.Sprintf("node=%d:%s", n.Node, strings.Join(fs, ",")))
+	}
 	return strings.Join(parts, ";")
 }
 
@@ -169,6 +220,7 @@ func ParseSpec(input string) (*Spec, error) {
 	}
 	devSeen := make(map[string]bool)
 	linkSeen := make(map[[2]int]bool)
+	nodeSeen := make(map[int]bool)
 	for _, raw := range strings.Split(input, ";") {
 		clause := strings.TrimSpace(raw)
 		if clause == "" {
@@ -189,7 +241,7 @@ func ParseSpec(input string) (*Spec, error) {
 				return nil, fmt.Errorf("faultinject: device %q targeted by more than one clause", name)
 			}
 			devSeen[name] = true
-			fs, err := parseFaults(faults, false)
+			fs, err := parseFaults(faults, targetDevice)
 			if err != nil {
 				return nil, fmt.Errorf("faultinject: clause %q: %w", clause, err)
 			}
@@ -204,13 +256,27 @@ func ParseSpec(input string) (*Spec, error) {
 				return nil, fmt.Errorf("faultinject: link %d-%d targeted by more than one clause", a, b)
 			}
 			linkSeen[key] = true
-			fs, err := parseFaults(faults, true)
+			fs, err := parseFaults(faults, targetLink)
 			if err != nil {
 				return nil, fmt.Errorf("faultinject: clause %q: %w", clause, err)
 			}
 			spec.Links = append(spec.Links, LinkClause{A: a, B: b, Faults: fs})
+		case strings.HasPrefix(target, "node="):
+			idx, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(target, "node=")))
+			if err != nil || idx < 0 {
+				return nil, fmt.Errorf("faultinject: clause %q: node target wants a non-negative index", clause)
+			}
+			if nodeSeen[idx] {
+				return nil, fmt.Errorf("faultinject: node %d targeted by more than one clause", idx)
+			}
+			nodeSeen[idx] = true
+			fs, err := parseFaults(faults, targetNode)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: clause %q: %w", clause, err)
+			}
+			spec.Nodes = append(spec.Nodes, NodeClause{Node: idx, Faults: fs})
 		default:
-			return nil, fmt.Errorf("faultinject: clause %q: target must start with dev= or link=", clause)
+			return nil, fmt.Errorf("faultinject: clause %q: target must start with dev=, link=, or node=", clause)
 		}
 	}
 	return spec, nil
@@ -242,8 +308,18 @@ func parseLinkTarget(s string) (int, int, error) {
 	return a, b, nil
 }
 
+// targetKind classifies a clause target so fault validation can tell
+// devices, links, and whole nodes apart.
+type targetKind uint8
+
+const (
+	targetDevice targetKind = iota
+	targetLink
+	targetNode
+)
+
 // parseFaults parses a comma-separated fault list for one clause.
-func parseFaults(s string, link bool) ([]Fault, error) {
+func parseFaults(s string, tgt targetKind) ([]Fault, error) {
 	var out []Fault
 	seen := make(map[FaultKind]bool)
 	for _, raw := range strings.Split(s, ",") {
@@ -251,7 +327,7 @@ func parseFaults(s string, link bool) ([]Fault, error) {
 		if fs == "" {
 			return nil, fmt.Errorf("empty fault")
 		}
-		f, err := parseFault(fs, link)
+		f, err := parseFault(fs, tgt)
 		if err != nil {
 			return nil, err
 		}
@@ -270,7 +346,33 @@ func parseFaults(s string, link bool) ([]Fault, error) {
 }
 
 // parseFault parses one fault term.
-func parseFault(s string, link bool) (Fault, error) {
+func parseFault(s string, tgt targetKind) (Fault, error) {
+	// crash takes "@DUR" (exact instant) or "@FROM..TO" (instant drawn
+	// from the window at arm time) — the single-DUR form would trip
+	// splitWindow's @FROM..TO requirement, so handle it first.
+	if body, when, hasAt := strings.Cut(s, "@"); strings.TrimSpace(body) == "crash" {
+		if tgt == targetLink {
+			return Fault{}, fmt.Errorf("fault %q: crash does not apply to links (use drop/stall)", s)
+		}
+		if !hasAt {
+			return Fault{}, fmt.Errorf("fault %q: crash requires @T or @FROM..TO", s)
+		}
+		f := Fault{Kind: FaultCrash}
+		if strings.Contains(when, "..") {
+			_, win, err := splitWindow(s)
+			if err != nil {
+				return Fault{}, err
+			}
+			f.Win = win
+		} else {
+			at, err := parseDur(strings.TrimSpace(when))
+			if err != nil || at <= 0 {
+				return Fault{}, fmt.Errorf("fault %q: crash wants a positive instant or @FROM..TO window", s)
+			}
+			f.At = at
+		}
+		return f, nil
+	}
 	body, win, err := splitWindow(s)
 	if err != nil {
 		return Fault{}, err
@@ -325,13 +427,17 @@ func parseFault(s string, link bool) (Fault, error) {
 	default:
 		return Fault{}, fmt.Errorf("fault %q: unknown fault %q", s, name)
 	}
-	if link {
+	switch tgt {
+	case targetLink:
 		if f.Kind != FaultDrop && f.Kind != FaultStall {
 			return Fault{}, fmt.Errorf("fault %q: %s does not apply to links (use drop/stall)", s, f.Kind)
 		}
-	} else {
+	case targetNode:
+		// crash returned early above, so anything else is illegal here.
+		return Fault{}, fmt.Errorf("fault %q: node clauses accept only crash", s)
+	default:
 		if f.Kind == FaultDrop || f.Kind == FaultStall {
-			return Fault{}, fmt.Errorf("fault %q: %s does not apply to devices (use errate/degrade/outage)", s, f.Kind)
+			return Fault{}, fmt.Errorf("fault %q: %s does not apply to devices (use errate/degrade/outage/crash)", s, f.Kind)
 		}
 	}
 	return f, nil

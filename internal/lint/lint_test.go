@@ -95,6 +95,8 @@ func TestFixtureChecksAttribution(t *testing.T) {
 		"internal/runpool":     "docs",
 		"internal/mgmt/policy": "docs",
 		"internal/mgmt/slo":    "docs",
+		"internal/invariant":   "docs",
+		"internal/chaos":       "docs",
 	}
 	mustBeClean := map[string]bool{
 		"internal/sim": true, "internal/faultinject": true,

@@ -61,13 +61,23 @@ func (e RedirectExecutor) Class() trace.Class {
 }
 
 // startMigration allocates the destination extent and begins copying
-// under the scheme's execute stage.
+// under the scheme's execute stage. The started counter lives here — not
+// with the planners — so budget conservation holds for every launch path
+// (balancing, evacuation, direct test harnesses). When the journal is
+// armed, the intent record persists before the first block moves.
 func (m *Manager) startMigration(v *VMDK, dst *Datastore) error {
 	base, err := dst.allocExtent(v.Size)
 	if err != nil {
 		return err
 	}
 	v.beginMigration(dst, base, m.scheme.Executor.Redirect())
+	m.stats.MigrationsStarted++
+	if m.journal != nil {
+		v.jn = m.journal
+		m.journal.appendSync(JournalRecord{Kind: JournalIntent, VMDK: v.ID,
+			Src: v.src.Dev.Name(), Dst: dst.Dev.Name(),
+			DstBase: base, Redirect: m.scheme.Executor.Redirect()})
+	}
 	mig := newMigration(m, v, v.src, dst)
 	m.active = append(m.active, mig)
 	mig.pump()
@@ -83,6 +93,11 @@ func (m *Manager) migrationAborted(mig *Migration) {
 			m.active = append(m.active[:i], m.active[i+1:]...)
 			break
 		}
+	}
+	if m.journal != nil {
+		m.journal.appendSync(JournalRecord{Kind: JournalDone, VMDK: mig.v.ID,
+			Detail: "unwind complete; source authoritative"})
+		mig.v.jn = nil
 	}
 	m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionAbort, Stage: StageExecute, VMDK: mig.v.ID,
 		Src: mig.src.Dev.Name(), Dst: mig.dst.Dev.Name(),
@@ -101,6 +116,11 @@ func (m *Manager) migrationDone(mig *Migration) {
 			m.active = append(m.active[:i], m.active[i+1:]...)
 			break
 		}
+	}
+	if m.journal != nil {
+		m.journal.appendSync(JournalRecord{Kind: JournalCommit, VMDK: mig.v.ID,
+			Detail: "destination primary"})
+		mig.v.jn = nil
 	}
 	m.stats.MigrationsCompleted++
 	// BytesCopied accrues per chunk as copies land (partial migrations

@@ -1,0 +1,253 @@
+package mgmt
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ErrAckLost fails an application write whose completion ack raced a power
+// loss: the data may have reached durable media, but the journal record
+// that would make the block-location change visible was never persisted,
+// so recovery rebuilt the bitmap without it. The submitter must treat the
+// write as never having happened — the same contract as a real storage
+// stack losing an un-acked write on power failure.
+var ErrAckLost = errors.New("mgmt: write ack lost to crash before journal record persisted")
+
+// JournalKind identifies one migration-journal record type.
+type JournalKind uint8
+
+const (
+	// JournalIntent opens a migration: destination, extent base, and
+	// whether writes redirect. Written synchronously at start, before any
+	// block moves.
+	JournalIntent JournalKind = iota
+	// JournalProgress marks a run of blocks as living at the destination.
+	JournalProgress
+	// JournalRevert clears a run of blocks back to source-resident
+	// (abort-time writes and copy-back traffic).
+	JournalRevert
+	// JournalAbort flags the migration as unwinding; recovery must finish
+	// the rollback, never resume forward.
+	JournalAbort
+	// JournalCommit closes a migration that completed forward: the
+	// destination is primary and no recovery action remains.
+	JournalCommit
+	// JournalDone closes a migration whose unwind completed: the source is
+	// primary and no recovery action remains.
+	JournalDone
+	// JournalCrash marks a power-loss event observed by the manager, for
+	// the recovery trace (it carries no replay semantics of its own).
+	JournalCrash
+)
+
+// String names the record kind for dumps.
+func (k JournalKind) String() string {
+	switch k {
+	case JournalIntent:
+		return "intent"
+	case JournalProgress:
+		return "progress"
+	case JournalRevert:
+		return "revert"
+	case JournalAbort:
+		return "abort"
+	case JournalCommit:
+		return "commit"
+	case JournalDone:
+		return "done"
+	case JournalCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("journal(%d)", uint8(k))
+	}
+}
+
+// JournalRecord is one journal entry. Records are totally ordered by Seq
+// (append order, which is sim-time order) and replayed per VMDK.
+type JournalRecord struct {
+	Seq       uint64
+	At        sim.Time // when the append was issued
+	DurableAt sim.Time // when the record is persistent (== At for sync appends)
+	Kind      JournalKind
+	VMDK      int
+
+	// Intent payload.
+	Src, Dst string
+	DstBase  int64
+	Redirect bool
+
+	// Progress/Revert payload: a contiguous block run.
+	Block, Count int64
+
+	// Crash payload / free-form annotation.
+	Detail string
+}
+
+// String renders one record for the deterministic journal dump.
+func (r JournalRecord) String() string {
+	switch r.Kind {
+	case JournalIntent:
+		return fmt.Sprintf("%06d @%-12d intent   vmdk%d %s->%s base=%d redirect=%v",
+			r.Seq, int64(r.At), r.VMDK, r.Src, r.Dst, r.DstBase, r.Redirect)
+	case JournalProgress, JournalRevert:
+		return fmt.Sprintf("%06d @%-12d %-8s vmdk%d blocks[%d,%d)",
+			r.Seq, int64(r.At), r.Kind, r.VMDK, r.Block, r.Block+r.Count)
+	case JournalCrash:
+		return fmt.Sprintf("%06d @%-12d crash    %s", r.Seq, int64(r.At), r.Detail)
+	default:
+		return fmt.Sprintf("%06d @%-12d %-8s vmdk%d %s", r.Seq, int64(r.At), r.Kind, r.VMDK, r.Detail)
+	}
+}
+
+// Journal is the deterministic migration journal (DESIGN.md §13). It
+// models an append-only log on the NVDIMM tier: synchronous appends are
+// durable at the instant they are issued (record-then-ack), while lazy
+// appends — background-copy progress — sit in a write buffer for delay
+// before persisting and are discarded if a crash bumps the VMDK's epoch
+// first. Epochs fence the ack path: a completion that captured the
+// pre-crash epoch cannot append after recovery rebuilt the VMDK.
+type Journal struct {
+	eng     *sim.Engine
+	delay   sim.Time
+	records []JournalRecord
+	seq     uint64
+	epochs  map[int]uint64
+	lost    uint64
+}
+
+// newJournal builds a journal with the given lazy-append settle delay.
+func newJournal(eng *sim.Engine, delay sim.Time) *Journal {
+	return &Journal{eng: eng, delay: delay, epochs: make(map[int]uint64)}
+}
+
+// Epoch returns the VMDK's current crash epoch. Callers on the ack path
+// capture it at submit and pass it back to AppendIfEpoch at completion.
+func (j *Journal) Epoch(vmdkID int) uint64 { return j.epochs[vmdkID] }
+
+// append stamps and stores a record, durable at durableAt.
+func (j *Journal) append(rec JournalRecord, durableAt sim.Time) {
+	rec.Seq = j.seq
+	j.seq++
+	rec.At = j.eng.Now()
+	rec.DurableAt = durableAt
+	j.records = append(j.records, rec)
+}
+
+// appendSync persists a record immediately (record-then-ack path and
+// migration lifecycle control records).
+func (j *Journal) appendSync(rec JournalRecord) {
+	j.append(rec, j.eng.Now())
+}
+
+// appendLazy buffers a record that persists after the settle delay.
+// Background-copy progress uses this: losing it on a crash is safe (the
+// source stays authoritative for the affected blocks) and the buffered
+// write keeps the copy path off the journal's critical path.
+func (j *Journal) appendLazy(rec JournalRecord) {
+	j.append(rec, j.eng.Now()+j.delay)
+}
+
+// AppendIfEpoch persists rec synchronously if the VMDK's epoch still
+// matches ep, reporting whether it did. A mismatch means a crash tore the
+// VMDK down between submit and completion: the caller must fail its
+// request (ErrAckLost) instead of acking.
+func (j *Journal) AppendIfEpoch(ep uint64, rec JournalRecord) bool {
+	if j.epochs[rec.VMDK] != ep {
+		return false
+	}
+	j.appendSync(rec)
+	return true
+}
+
+// bumpEpoch advances the VMDK's crash epoch, discarding buffered records
+// that had not yet persisted — the power loss took the write buffer with
+// it. Durable records survive.
+func (j *Journal) bumpEpoch(vmdkID int) {
+	j.epochs[vmdkID]++
+	now := j.eng.Now()
+	kept := j.records[:0]
+	for _, r := range j.records {
+		if r.VMDK == vmdkID && r.DurableAt > now {
+			j.lost++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	j.records = kept
+}
+
+// replayState is a VMDK's migration state as reconstructed from durable
+// journal records.
+type replayState struct {
+	live     bool // a migration is open (intent without commit/done)
+	aborting bool
+	src, dst string
+	dstBase  int64
+	redirect bool
+	bitmap   []uint64
+	migrated int64
+}
+
+// replay rebuilds the VMDK's migration state from its durable records:
+// intent resets, progress sets, revert clears, abort flags, commit/done
+// close. blocks is the VMDK's bitmap length in blocks.
+func (j *Journal) replay(vmdkID int, blocks int64) replayState {
+	var st replayState
+	now := j.eng.Now()
+	for _, r := range j.records {
+		if r.VMDK != vmdkID || r.DurableAt > now {
+			continue
+		}
+		switch r.Kind {
+		case JournalIntent:
+			st = replayState{
+				live: true, src: r.Src, dst: r.Dst,
+				dstBase: r.DstBase, redirect: r.Redirect,
+				bitmap: make([]uint64, (blocks+63)/64),
+			}
+		case JournalProgress:
+			for b := r.Block; b < r.Block+r.Count && b < blocks; b++ {
+				if st.bitmap != nil && st.bitmap[b/64]&(1<<(uint(b)%64)) == 0 {
+					st.bitmap[b/64] |= 1 << (uint(b) % 64)
+					st.migrated++
+				}
+			}
+		case JournalRevert:
+			for b := r.Block; b < r.Block+r.Count && b < blocks; b++ {
+				if st.bitmap != nil && st.bitmap[b/64]&(1<<(uint(b)%64)) != 0 {
+					st.bitmap[b/64] &^= 1 << (uint(b) % 64)
+					st.migrated--
+				}
+			}
+		case JournalAbort:
+			st.aborting = true
+		case JournalCommit, JournalDone:
+			st = replayState{}
+		}
+	}
+	return st
+}
+
+// Records returns the durable journal in append order (records still in
+// the write buffer at call time are included; they persist unless a crash
+// intervenes first).
+func (j *Journal) Records() []JournalRecord {
+	return append([]JournalRecord(nil), j.records...)
+}
+
+// Lost returns how many buffered records power losses discarded.
+func (j *Journal) Lost() uint64 { return j.lost }
+
+// String renders the full journal, one record per line — the byte-
+// identical recovery trace the determinism contract covers (DESIGN §9).
+func (j *Journal) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "journal: %d records, %d lost to crashes\n", len(j.records), j.lost)
+	for _, r := range j.records {
+		b.WriteString("  " + r.String() + "\n")
+	}
+	return b.String()
+}

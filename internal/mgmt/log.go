@@ -37,6 +37,14 @@ const (
 	// the observability layer (internal/mgmt/slo) — the signal a future
 	// tail-aware Planner stage will consume.
 	DecisionSLO
+	// DecisionCrash records a power-loss event reaching the manager:
+	// volatile migration state for the affected scope is torn down and
+	// recovery begins (DESIGN.md §13).
+	DecisionCrash
+	// DecisionRecover records the per-migration recovery verdict after a
+	// crash: journal replay chose to resume the move forward or roll it
+	// back to the source.
+	DecisionRecover
 )
 
 // String names the kind.
@@ -62,6 +70,10 @@ func (k DecisionKind) String() string {
 		return "readmit"
 	case DecisionSLO:
 		return "slo"
+	case DecisionCrash:
+		return "crash"
+	case DecisionRecover:
+		return "recover"
 	default:
 		return fmt.Sprintf("decision(%d)", uint8(k))
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/device"
+	"repro/internal/invariant"
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -75,6 +76,18 @@ type Config struct {
 	// epoch off quarantined stores (in addition to, not gated by,
 	// MaxConcurrentMigrations). Default 2.
 	MaxConcurrentEvacuations int
+
+	// Journal arms the durable migration journal (DESIGN.md §13): intent/
+	// progress/commit/abort records at chunk granularity, enabling crash
+	// recovery. Off by default — journal-free runs are byte-identical to
+	// builds that predate the crash model.
+	Journal bool
+	// JournalAppendDelay is how long a lazy (background-copy progress)
+	// journal append sits in the write buffer before persisting; a crash
+	// inside that window loses the record. Synchronous appends (intent,
+	// abort, commit, redirected-write marks) are durable immediately.
+	// Default 2 µs.
+	JournalAppendDelay sim.Time
 }
 
 // DefaultConfig returns the evaluation defaults.
@@ -120,6 +133,11 @@ type Stats struct {
 	Quarantines       uint64 // datastores entering quarantine
 	Readmissions      uint64 // datastores released after probation
 	Evacuations       uint64 // migrations launched to empty quarantined stores
+
+	// Crash-recovery counters (DESIGN.md §13).
+	Crashes           uint64 // power-loss events reaching the manager
+	RecoveryResumes   uint64 // migrations resumed forward after journal replay
+	RecoveryRollbacks uint64 // migrations rolled back to source after replay
 }
 
 // Manager drives the management pipeline over a set of datastores: each
@@ -144,6 +162,8 @@ type Manager struct {
 	log          DecisionLog
 	tr           *telemetry.Tracer
 	track        string
+	journal      *Journal
+	inv          *invariant.Checker
 
 	// OnEpoch, when set, observes each epoch's per-store performance
 	// vector (experiment instrumentation).
@@ -206,6 +226,9 @@ func NewManager(eng *sim.Engine, cfg Config, scheme Scheme, stores []*Datastore)
 	if cfg.MaxConcurrentEvacuations <= 0 {
 		cfg.MaxConcurrentEvacuations = 2
 	}
+	if cfg.JournalAppendDelay <= 0 {
+		cfg.JournalAppendDelay = 2 * sim.Microsecond
+	}
 	m := &Manager{
 		eng:      eng,
 		cfg:      cfg,
@@ -218,8 +241,14 @@ func NewManager(eng *sim.Engine, cfg Config, scheme Scheme, stores []*Datastore)
 	if cfg.DecisionLogCap > 0 {
 		m.log.SetCapacity(cfg.DecisionLogCap)
 	}
+	if cfg.Journal {
+		m.journal = newJournal(eng, cfg.JournalAppendDelay)
+	}
 	return m
 }
+
+// Journal returns the migration journal (nil unless Config.Journal).
+func (m *Manager) Journal() *Journal { return m.journal }
 
 // SetTracer bridges the decision log into trace events: every logged
 // decision becomes an instant event on track, and completed migrations
@@ -397,6 +426,7 @@ func (m *Manager) epoch() {
 	for _, ds := range m.stores {
 		ds.resetWindow()
 	}
+	m.checkInvariants("epoch")
 	m.eng.Schedule(m.cfg.Window, m.epoch)
 }
 

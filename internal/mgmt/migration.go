@@ -96,6 +96,27 @@ func (g *Migration) regate(perfs []StorePerf) {
 	}
 }
 
+// journalRuns records a bitmap change made by the copy engine as lazy
+// journal appends, one per contiguous run — the retry-time live-filter
+// can leave holes in a chunk's block list, and the journal's record
+// format is runs, not arbitrary sets.
+func (g *Migration) journalRuns(kind JournalKind, blocks []int64) {
+	jn := g.mgr.journal
+	if jn == nil || len(blocks) == 0 {
+		return
+	}
+	start, n := blocks[0], int64(1)
+	for _, b := range blocks[1:] {
+		if b == start+n {
+			n++
+			continue
+		}
+		jn.appendLazy(JournalRecord{Kind: kind, VMDK: g.v.ID, Block: start, Count: n})
+		start, n = b, 1
+	}
+	jn.appendLazy(JournalRecord{Kind: kind, VMDK: g.v.ID, Block: start, Count: n})
+}
+
 // pump keeps CopyDepth chunks in flight.
 func (g *Migration) pump() {
 	if g.completed {
@@ -228,6 +249,7 @@ func (g *Migration) attemptChunk(blocks []int64, attempt int) {
 				for _, b := range blocks {
 					g.v.markMigrated(b)
 				}
+				g.journalRuns(JournalProgress, blocks)
 				g.copiedBytes += n * BlockSize
 				g.mgr.stats.BytesCopied += n * BlockSize
 				g.inflight--
@@ -261,6 +283,9 @@ func (g *Migration) abort(reason string) {
 	g.paused = false
 	g.mgr.stats.MigrationsAborted++
 	g.v.beginAbort()
+	if g.mgr.journal != nil {
+		g.mgr.journal.appendSync(JournalRecord{Kind: JournalAbort, VMDK: g.v.ID, Detail: reason})
+	}
 	g.abortCursor = 0
 	g.mgr.logDecision(Decision{At: g.mgr.eng.Now(), Kind: DecisionAbort, Stage: StageExecute, VMDK: g.v.ID,
 		Src: g.src.Dev.Name(), Dst: g.dst.Dev.Name(),
@@ -364,6 +389,7 @@ func (g *Migration) attemptAbortChunk(blocks []int64, attempt int) {
 				for _, b := range blocks {
 					g.v.markUnmigrated(b)
 				}
+				g.journalRuns(JournalRevert, blocks)
 				g.inflight--
 				g.pumpAbort()
 			})

@@ -124,7 +124,6 @@ func (m *Manager) evacuate(ds *Datastore, perfs []StorePerf) {
 		mig.evac = true
 		evacs++
 		m.stats.Evacuations++
-		m.stats.MigrationsStarted++
 		v.lastMoveEpoch = m.stats.Epochs
 		m.recordMove(v, ds, dst)
 		m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionEvacuate, Stage: StagePlan, VMDK: v.ID,
@@ -228,7 +227,6 @@ func (p BalancePlanner) Plan(m *Manager, perfs []StorePerf) {
 		}
 	}
 	if err := m.startMigration(cand, dst); err == nil {
-		m.stats.MigrationsStarted++
 		cand.lastMoveEpoch = m.stats.Epochs
 		m.recordMove(cand, src, dst)
 		m.logDecision(Decision{At: m.eng.Now(), Kind: DecisionMigrate, Stage: StagePlan, VMDK: cand.ID,

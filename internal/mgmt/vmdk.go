@@ -42,6 +42,11 @@ type VMDK struct {
 	totalRequests  uint64
 	// lastMoveEpoch records when this VMDK last migrated (hysteresis).
 	lastMoveEpoch uint64
+
+	// jn is the migration journal while a journaled migration is open
+	// (nil otherwise): bitmap changes made by application writes persist
+	// a record before the write acks (DESIGN.md §13).
+	jn *Journal
 }
 
 // newVMDK is created through Datastore.CreateVMDK / Manager.PlaceVMDK.
@@ -164,19 +169,21 @@ func (v *VMDK) Submit(r *trace.IORequest, done device.Completion) {
 		// Abort unwinding: fresh writes land on the source and clear their
 		// bitmap bits — the copy-back engine then has less to move, and the
 		// source copy stays authoritative.
-		for b := block; b <= (r.Offset+r.Size-1)/BlockSize && b < v.Blocks(); b++ {
+		last := (r.Offset + r.Size - 1) / BlockSize
+		for b := block; b <= last && b < v.Blocks(); b++ {
 			v.markUnmigrated(b)
 		}
-		v.forward(v.src, v.srcBase, r, done)
+		v.forward(v.src, v.srcBase, r, v.guardAck(JournalRevert, block, last, done))
 		return
 	}
 	if r.Op == trace.OpWrite && v.mirroring {
 		// I/O mirroring: upcoming writes land at the new location,
 		// marking their blocks migrated so no copy is needed (§5.2).
-		for b := block; b <= (r.Offset+r.Size-1)/BlockSize && b < v.Blocks(); b++ {
+		last := (r.Offset + r.Size - 1) / BlockSize
+		for b := block; b <= last && b < v.Blocks(); b++ {
 			v.markMigrated(b)
 		}
-		v.forward(v.dst, v.dstBase, r, done)
+		v.forward(v.dst, v.dstBase, r, v.guardAck(JournalProgress, block, last, done))
 		return
 	}
 	if v.blockMigrated(block) {
@@ -184,6 +191,34 @@ func (v *VMDK) Submit(r *trace.IORequest, done device.Completion) {
 		return
 	}
 	v.forward(v.src, v.srcBase, r, done)
+}
+
+// guardAck wraps a write completion with the record-then-ack protocol:
+// on success a journal record covering blocks [first,last] persists
+// before the ack reaches the application; if a crash fenced the VMDK's
+// epoch in between, the write fails with ErrAckLost instead — recovery
+// already rebuilt the bitmap without this write's marks, so acking it
+// would advertise a block-location change that never became durable.
+// With no journal bound (journal off, or no migration open) the
+// completion passes through untouched.
+func (v *VMDK) guardAck(kind JournalKind, first, last int64, done device.Completion) device.Completion {
+	if v.jn == nil {
+		return done
+	}
+	jn := v.jn
+	ep := jn.Epoch(v.ID)
+	if last >= v.Blocks() {
+		last = v.Blocks() - 1
+	}
+	return func(c *trace.IORequest) {
+		if c.Err == nil && !jn.AppendIfEpoch(ep, JournalRecord{
+			Kind: kind, VMDK: v.ID, Block: first, Count: last - first + 1}) {
+			c.Err = ErrAckLost
+		}
+		if done != nil {
+			done(c)
+		}
+	}
 }
 
 // forward rebases the request onto the datastore extent and submits.

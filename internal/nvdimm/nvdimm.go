@@ -154,6 +154,13 @@ func New(eng *sim.Engine, ch *bus.Channel, cfg Config) *NVDIMM {
 // Cache exposes the buffer cache for experiment instrumentation.
 func (n *NVDIMM) Cache() cache.Cache { return n.cache }
 
+// DropCache empties the DRAM buffer cache without write-backs — the
+// power-loss teardown (DESIGN.md §13). The NVDIMM's flash media and FTL
+// state persist (that is what makes it an NVDIMM); dirty cache lines are
+// saved by the flush-on-fail circuitry, so no data is lost — the modeled
+// cost of a crash is the cold cache the restarted node serves from.
+func (n *NVDIMM) DropCache() { n.cache.Invalidate() }
+
 // FTL exposes the translation layer for instrumentation.
 func (n *NVDIMM) FTL() *ftl.FTL { return n.ftl }
 

@@ -44,14 +44,22 @@ import (
 type PanicError struct {
 	// Index is the job number that panicked.
 	Index int
+	// Label identifies the job for humans — chaos scenarios put the
+	// offending seed and fault spec here so a panic report alone is enough
+	// to reproduce the failure. Empty when the caller used plain Do.
+	Label string
 	// Value is the value passed to panic.
 	Value interface{}
 	// Stack is the panicking goroutine's stack trace.
 	Stack string
 }
 
-// Error implements the error interface.
+// Error implements the error interface. The label, when present, rides
+// along so the one-line report identifies the scenario, not just its slot.
 func (e *PanicError) Error() string {
+	if e.Label != "" {
+		return fmt.Sprintf("runpool: job %d (%s) panicked: %v", e.Index, e.Label, e.Value)
+	}
 	return fmt.Sprintf("runpool: job %d panicked: %v", e.Index, e.Value)
 }
 
@@ -82,6 +90,13 @@ func Workers(requested, n int) int {
 // index order on a single goroutine, which is the reference schedule all
 // other worker counts must be byte-equivalent to.
 func Do[T any](workers, n int, fn func(i int) (T, error)) ([]T, []error) {
+	return DoLabeled(workers, n, nil, fn)
+}
+
+// DoLabeled is Do with a per-job label hook: label(i), when non-nil, names
+// job i in any *PanicError it produces. The label is computed only on
+// panic, so the hook costs nothing on the happy path.
+func DoLabeled[T any](workers, n int, label func(i int) string, fn func(i int) (T, error)) ([]T, []error) {
 	results := make([]T, n)
 	errs := make([]error, n)
 	w := Workers(workers, n)
@@ -91,7 +106,11 @@ func Do[T any](workers, n int, fn func(i int) (T, error)) ([]T, []error) {
 	run := func(i int) {
 		defer func() {
 			if r := recover(); r != nil {
-				errs[i] = &PanicError{Index: i, Value: r, Stack: string(debug.Stack())}
+				pe := &PanicError{Index: i, Value: r, Stack: string(debug.Stack())}
+				if label != nil {
+					pe.Label = label(i)
+				}
+				errs[i] = pe
 			}
 		}()
 		results[i], errs[i] = fn(i)

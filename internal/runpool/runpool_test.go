@@ -82,6 +82,37 @@ func TestDoSequentialIsReference(t *testing.T) {
 	}
 }
 
+// TestDoLabeledPanicCarriesLabel asserts a labeled pool stamps the job's
+// label into the panic error — the chaos harness depends on the report
+// alone identifying the offending scenario seed+spec.
+func TestDoLabeledPanicCarriesLabel(t *testing.T) {
+	var labeled int64
+	_, errs := DoLabeled(2, 4,
+		func(i int) string {
+			atomic.AddInt64(&labeled, 1)
+			return fmt.Sprintf("seed=%d spec=dev=d:crash@1ms", i)
+		},
+		func(i int) (int, error) {
+			if i == 2 {
+				panic("scenario violated an invariant")
+			}
+			return i, nil
+		})
+	var pe *PanicError
+	if !errors.As(errs[2], &pe) {
+		t.Fatalf("errs[2] = %v, want *PanicError", errs[2])
+	}
+	if pe.Label != "seed=2 spec=dev=d:crash@1ms" {
+		t.Fatalf("label = %q", pe.Label)
+	}
+	if !strings.Contains(pe.Error(), "(seed=2 spec=dev=d:crash@1ms)") {
+		t.Fatalf("Error() lost the label: %q", pe.Error())
+	}
+	if labeled != 1 {
+		t.Fatalf("label computed %d times, want 1 (only on panic)", labeled)
+	}
+}
+
 // TestWorkersClamp covers the min(GOMAXPROCS, jobs) sizing rule.
 func TestWorkersClamp(t *testing.T) {
 	cases := []struct{ req, n, min, max int }{
