@@ -10,8 +10,10 @@ package repro
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -395,14 +397,17 @@ func BenchmarkEngineHotPath(b *testing.B) {
 	}
 }
 
-// benchMgmtRecord is the schema of BENCH_mgmt.json.
-type benchMgmtRecord struct {
-	Stores     int     `json:"stores"`
-	VMDKs      int     `json:"vmdks"`
-	Scheme     string  `json:"scheme"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	WindowUS   float64 `json:"window_us"` // simulated window length
-	Iterations int     `json:"iterations"`
+// benchMgmtRow is one cell of the BENCH_mgmt.json scale matrix: one
+// (fleet scale, pipeline mode) pair. Mode is "incremental" (the default
+// dirty-set pipeline) or "fullsweep" (Config.FullSweep reference).
+type benchMgmtRow struct {
+	Scale       int    `json:"scale"` // fleet multiplier: 1, 10, 100
+	Mode        string `json:"mode"`
+	Nodes       int    `json:"nodes"`
+	Stores      int    `json:"stores"`
+	VMDKs       int    `json:"vmdks"`
+	ActiveVMDKs int    `json:"active_vmdks"` // runners issuing I/O (fixed across scales)
+	Iterations  int    `json:"iterations"`
 	// WindowWallUS is the mean wall-clock cost of simulating one
 	// management window: one epoch of the observe → plan → execute
 	// pipeline plus the foreground I/O that populates its windows.
@@ -410,72 +415,159 @@ type benchMgmtRecord struct {
 	Migrations   int64   `json:"migrations_started"`
 }
 
-// BenchmarkManagerEpoch times the management loop's hot path: one node
-// with its three datastores (NVDIMM, SSD, HDD), 32 VMDKs with light
-// foreground traffic, and the full scheme (contention-aware estimation,
-// redirection, tagging), so every pipeline stage runs each window. One
-// benchmark iteration advances the simulation by exactly one management
-// window — one epoch — and the mean wall cost lands in BENCH_mgmt.json
-// alongside BENCH_parallel.json so the pipeline's overhead is tracked
-// across refactors.
-func BenchmarkManagerEpoch(b *testing.B) {
-	const nVMDKs = 32
-	model := benchSharedModel(b)
-	c := cluster.New()
-	if _, err := c.AddNode(cluster.NodeConfig{
-		Name:     "bench",
-		Channels: 4,
-		NVDIMM:   core.ScaledNVDIMMConfig("bench-nvdimm"),
-		SSD:      core.ScaledSSDConfig("bench-ssd"),
-		HDD:      core.ScaledHDDConfig("bench-hdd", 7),
-	}, sim.NewRNG(7)); err != nil {
-		b.Fatal(err)
+// benchMgmtFile is the schema of BENCH_mgmt.json: shared run parameters
+// plus the scale-matrix records (docs/BENCH.md documents every field).
+type benchMgmtFile struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Scheme     string         `json:"scheme"`
+	WindowUS   float64        `json:"window_us"` // simulated window length
+	Claim      string         `json:"claim"`
+	Records    []benchMgmtRow `json:"records"`
+}
+
+const benchMgmtClaim = "with a fixed active set (32 runners), incremental " +
+	"epoch cost tracks activity, not fleet size: window_wall_us grows " +
+	"sublinearly in scale, while fullsweep pays O(stores + vmdks) per epoch"
+
+// benchMgmtRows accumulates cells across the BenchmarkManagerEpochScale
+// sub-benchmarks; keyed by scale/mode so go test's calibration reruns
+// overwrite instead of duplicating.
+var (
+	benchMgmtMu   sync.Mutex
+	benchMgmtRows = map[string]benchMgmtRow{}
+)
+
+// benchMgmtScales defines the matrix: 1× is the single-node baseline the
+// old BenchmarkManagerEpoch measured; 10× and 100× grow the fleet and
+// the VMDK population while the active set stays 32 runners, which is
+// exactly the shape the incremental pipeline is for.
+var benchMgmtScales = []struct {
+	scale, nodes, vmdks int
+	vmdkSize            int64
+}{
+	{1, 1, 32, 4 << 20},
+	{10, 10, 320, 4 << 20},
+	{100, 34, 10000, 1 << 20},
+}
+
+// writeBenchMgmt rewrites BENCH_mgmt.json from the accumulated cells and
+// enforces the scaling claim once both incremental endpoints are in: the
+// 100× incremental cell must cost less than 20× the 1× cell (a 100×
+// fleet with the same activity; the generous factor absorbs timer noise
+// while still failing on any return to per-epoch full sweeps).
+func writeBenchMgmt(b *testing.B) {
+	b.Helper()
+	rows := make([]benchMgmtRow, 0, len(benchMgmtRows))
+	for _, r := range benchMgmtRows {
+		rows = append(rows, r)
 	}
-	stores := c.AllStores()
-	cfg := mgmt.DefaultConfig()
-	cfg.Window = sim.Millisecond
-	cfg.MinWindowRequests = 1
-	mgr := mgmt.NewManager(c.Eng, cfg, mgmt.Full(), stores)
-	mgr.SetModel(device.KindNVDIMM, model)
-	p := workload.Profile{Name: "bench", WriteRatio: 0.3, ReadRand: 0.5, WriteRand: 0.5,
-		IOSize: 4096, OIO: 1, Footprint: 1 << 20, ThinkTime: 100 * sim.Microsecond}
-	for i := 0; i < nVMDKs; i++ {
-		v, err := stores[i%len(stores)].CreateVMDK(i+1, 4<<20)
-		if err != nil {
-			b.Fatal(err)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Scale != rows[j].Scale {
+			return rows[i].Scale < rows[j].Scale
 		}
-		workload.NewRunner(c.Eng, sim.NewRNG(uint64(i)+1), p, v, i).Start()
+		return rows[i].Mode < rows[j].Mode
+	})
+	out := benchMgmtFile{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scheme:     mgmt.Full().Name,
+		WindowUS:   sim.Millisecond.Seconds() * 1e6,
+		Claim:      benchMgmtClaim,
+		Records:    rows,
 	}
-	mgr.Start()
-	if err := c.Eng.RunFor(2 * cfg.Window); err != nil { // warm the windows
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	start := time.Now()
-	for i := 0; i < b.N; i++ {
-		if err := c.Eng.RunFor(cfg.Window); err != nil {
-			b.Fatal(err)
-		}
-	}
-	wall := time.Since(start)
-	b.StopTimer()
-	b.ReportMetric(wall.Seconds()*1e6/float64(b.N), "window_wall_us/op")
-	rec := benchMgmtRecord{
-		Stores:       len(stores),
-		VMDKs:        nVMDKs,
-		Scheme:       mgmt.Full().Name,
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		WindowUS:     cfg.Window.Seconds() * 1e6,
-		Iterations:   b.N,
-		WindowWallUS: wall.Seconds() * 1e6 / float64(b.N),
-		Migrations:   int64(mgr.Stats().MigrationsStarted),
-	}
-	data, err := json.MarshalIndent(rec, "", "  ")
+	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_mgmt.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
+	}
+	inc1, ok1 := benchMgmtRows["1/incremental"]
+	inc100, ok100 := benchMgmtRows["100/incremental"]
+	if ok1 && ok100 && inc100.WindowWallUS > 20*inc1.WindowWallUS {
+		b.Errorf("scaling claim violated: incremental window cost grew %.1f× over a 100× fleet (1×: %.0fµs, 100×: %.0fµs)",
+			inc100.WindowWallUS/inc1.WindowWallUS, inc1.WindowWallUS, inc100.WindowWallUS)
+	}
+}
+
+// BenchmarkManagerEpochScale times the management loop's hot path across
+// fleet scales: N nodes of three datastores each (NVDIMM, SSD, HDD), the
+// full scheme (contention-aware estimation, redirection, tagging), and a
+// fixed 32-runner foreground so activity is constant while the fleet
+// grows 1× → 10× → 100×. One benchmark iteration advances the simulation
+// by exactly one management window — one epoch. Each scale runs both the
+// default incremental pipeline and the Config.FullSweep reference; the
+// cells land in BENCH_mgmt.json with the complexity claim, and the
+// benchmark itself fails if the incremental 100× cell stops being
+// sublinear in fleet size.
+func BenchmarkManagerEpochScale(b *testing.B) {
+	const nActive = 32
+	model := benchSharedModel(b)
+	for _, sc := range benchMgmtScales {
+		for _, mode := range []string{"incremental", "fullsweep"} {
+			sc, mode := sc, mode
+			b.Run(fmt.Sprintf("scale%dx/%s", sc.scale, mode), func(b *testing.B) {
+				c := cluster.New()
+				for n := 0; n < sc.nodes; n++ {
+					if _, err := c.AddNode(cluster.NodeConfig{
+						Name:     fmt.Sprintf("bench%d", n),
+						Channels: 4,
+						NVDIMM:   core.ScaledNVDIMMConfig(fmt.Sprintf("nv%d", n)),
+						SSD:      core.ScaledSSDConfig(fmt.Sprintf("ssd%d", n)),
+						HDD:      core.ScaledHDDConfig(fmt.Sprintf("hdd%d", n), uint64(7+n)),
+					}, sim.NewRNG(uint64(7+n))); err != nil {
+						b.Fatal(err)
+					}
+				}
+				stores := c.AllStores()
+				cfg := mgmt.DefaultConfig()
+				cfg.Window = sim.Millisecond
+				cfg.MinWindowRequests = 1
+				cfg.FullSweep = mode == "fullsweep"
+				mgr := mgmt.NewManager(c.Eng, cfg, mgmt.Full(), stores)
+				mgr.SetModel(device.KindNVDIMM, model)
+				p := workload.Profile{Name: "bench", WriteRatio: 0.3, ReadRand: 0.5, WriteRand: 0.5,
+					IOSize: 4096, OIO: 1, Footprint: sc.vmdkSize, ThinkTime: 100 * sim.Microsecond}
+				// Round-robin placement spreads VMDKs — and the first
+				// nActive runners — across the whole fleet.
+				for i := 0; i < sc.vmdks; i++ {
+					v, err := stores[i%len(stores)].CreateVMDK(i+1, sc.vmdkSize)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i < nActive {
+						workload.NewRunner(c.Eng, sim.NewRNG(uint64(i)+1), p, v, i).Start()
+					}
+				}
+				mgr.Start()
+				if err := c.Eng.RunFor(2 * cfg.Window); err != nil { // warm the windows
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					if err := c.Eng.RunFor(cfg.Window); err != nil {
+						b.Fatal(err)
+					}
+				}
+				wall := time.Since(start)
+				b.StopTimer()
+				b.ReportMetric(wall.Seconds()*1e6/float64(b.N), "window_wall_us/op")
+				benchMgmtMu.Lock()
+				defer benchMgmtMu.Unlock()
+				benchMgmtRows[fmt.Sprintf("%d/%s", sc.scale, mode)] = benchMgmtRow{
+					Scale:        sc.scale,
+					Mode:         mode,
+					Nodes:        sc.nodes,
+					Stores:       len(stores),
+					VMDKs:        sc.vmdks,
+					ActiveVMDKs:  nActive,
+					Iterations:   b.N,
+					WindowWallUS: wall.Seconds() * 1e6 / float64(b.N),
+					Migrations:   int64(mgr.Stats().MigrationsStarted),
+				}
+				writeBenchMgmt(b)
+			})
+		}
 	}
 }
 

@@ -1,0 +1,250 @@
+package mgmt
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// This file implements incremental epoch processing (DESIGN.md §14): the
+// observe and reset phases touch only *dirty* stores — stores with
+// window events or allocation changes — plus stores whose EWMA is still
+// settling and stores under quarantine, so epoch cost scales with
+// activity instead of fleet size. The planner consults two persistent
+// ordered indexes (srcIdx/dstIdx) instead of sweeping the performance
+// vector. Config.FullSweep disables all of it and restores the original
+// O(stores × VMDKs) sweep; the two modes are decision-for-decision
+// equivalent, which the differential tests in incremental_test.go and
+// internal/experiments pin down.
+
+// storeState is one store's incremental bookkeeping on the Manager.
+type storeState struct {
+	// idleUS caches idleEstimateUS(kind): the low-signal fallback and
+	// Norm denominator never change for a store.
+	idleUS float64
+	// dirty records that the store saw window events (monitor activity)
+	// or an allocation change since its window was last reset.
+	dirty bool
+	// listed dedups pending-worklist insertion.
+	listed bool
+	// emptyWC/cleanRawP cache the store's empty-window characterization
+	// and the raw (pre-EWMA) decision latency computed from it, valid
+	// while haveClean holds. A clean window always reproduces exactly
+	// this snapshot — the analyzer is empty and the free-space ratio
+	// unchanged — so re-reading the monitor would recompute the same
+	// values.
+	emptyWC   trace.WC
+	cleanRawP float64
+	haveClean bool
+	// settled records that the EWMA reached its floating-point fixed
+	// point on a clean window: further clean windows cannot change the
+	// store's StorePerf entry, so the store drops off the worklist until
+	// something dirties it.
+	settled bool
+}
+
+// observeIncremental is SmoothingObserver's default path: process only
+// the worklist — dirty stores, stores whose EWMA is still settling, and
+// quarantined stores — updating the persistent performance vector and
+// the planner indexes in place. Entries for settled stores are already
+// exactly what a full sweep would recompute.
+func (m *Manager) observeIncremental() []StorePerf {
+	work := m.work[:0]
+	work = append(work, m.pending...)
+	work = append(work, m.quarSlots...)
+	sort.Ints(work)
+	// Dedup in place: a quarantined store may also be pending.
+	n := 0
+	for i, slot := range work {
+		if i == 0 || slot != work[n-1] {
+			work[n] = slot
+			n++
+		}
+	}
+	m.work = work[:n]
+	m.pending = m.pending[:0]
+	for _, slot := range m.work {
+		m.st[slot].listed = false
+	}
+	for _, slot := range m.work {
+		m.observeStore(slot)
+	}
+	return m.perfs
+}
+
+// observeStore recomputes one store's StorePerf entry — through the
+// monitor when the window had activity, from the cached empty-window
+// snapshot otherwise — applies the EWMA, and refreshes the planner
+// indexes. Unsettled stores re-enter the pending worklist so the EWMA
+// keeps converging on clean windows.
+func (m *Manager) observeStore(slot int) {
+	s := &m.st[slot]
+	ds := m.stores[slot]
+	var (
+		wc  trace.WC
+		mp  float64
+		n   int
+		raw float64
+	)
+	switch {
+	case s.dirty, !s.haveClean:
+		wc, mp, n = ds.Mon.Window()
+		if n >= m.cfg.MinWindowRequests {
+			raw = m.perfOf(ds, wc, mp, n)
+		} else {
+			raw = s.idleUS
+		}
+		if !s.dirty {
+			// First clean window since activity: cache the snapshot that
+			// every further clean window will reproduce.
+			s.emptyWC, s.cleanRawP, s.haveClean = wc, raw, true
+		}
+	default:
+		wc, mp, n = s.emptyWC, 0, 0
+		raw = s.cleanRawP
+	}
+	p := raw
+	prev, hasPrev := m.smoothed[ds]
+	if hasPrev {
+		p = m.cfg.SmoothingAlpha*raw + (1-m.cfg.SmoothingAlpha)*prev
+	}
+	m.smoothed[ds] = p
+	m.perfs[slot] = StorePerf{
+		Store: ds, WC: wc, MeasuredUS: mp, PerfUS: p,
+		Norm: p / s.idleUS, Requests: n,
+	}
+	// Settled = a clean window whose EWMA update was a no-op: the entry
+	// can never change again without new activity.
+	s.settled = !s.dirty && hasPrev && p == prev
+	if !s.settled && !s.listed {
+		s.listed = true
+		m.pending = append(m.pending, slot)
+	}
+	m.updateIndexes(slot)
+}
+
+// updateIndexes refreshes one store's entries in the planner's source
+// and destination indexes from its current StorePerf. Quarantined
+// stores are absent from both (evacuation handles them); source
+// eligibility mirrors the full sweep's conditions exactly.
+func (m *Manager) updateIndexes(slot int) {
+	ds := m.stores[slot]
+	sp := &m.perfs[slot]
+	if ds.quarantined {
+		m.srcIdx.Remove(slot)
+		m.dstIdx.Remove(slot)
+		return
+	}
+	if ds.NumVMDKs() > 0 && sp.Requests >= m.cfg.MinWindowRequests {
+		// Negated key: the index is a min-heap, the planner wants the
+		// max Norm; ties break to the lowest slot either way, matching
+		// the sweep's first-store-wins strict comparison.
+		m.srcIdx.Set(slot, -sp.Norm)
+	} else {
+		m.srcIdx.Remove(slot)
+	}
+	m.dstIdx.Set(slot, sp.PerfUS)
+}
+
+// markDirty flags a store for the next epoch's worklist and invalidates
+// its cached clean-window snapshot. It is the single entry point for
+// both dirt sources: the monitor's first-event-per-window callback and
+// allocation changes (free-space ratio moved).
+func (m *Manager) markDirty(slot int) {
+	s := &m.st[slot]
+	s.haveClean = false
+	s.settled = false
+	if s.dirty {
+		return
+	}
+	s.dirty = true
+	if !s.listed {
+		s.listed = true
+		m.pending = append(m.pending, slot)
+	}
+}
+
+// resetDirtyWindows is the incremental reset phase: only stores whose
+// window actually saw events are reset. The worklist covers stores
+// dirty at observe time; m.pending additionally covers stores dirtied
+// during the plan phase (migration launches allocate extents and submit
+// copy I/O), whose partial windows a full sweep would also have wiped —
+// they stay pending so the next epoch re-observes them.
+func (m *Manager) resetDirtyWindows() {
+	for _, slot := range m.work {
+		if m.st[slot].dirty {
+			m.stores[slot].resetWindowTouched()
+			m.st[slot].dirty = false
+		}
+	}
+	for _, slot := range m.pending {
+		if m.st[slot].dirty {
+			m.stores[slot].resetWindowTouched()
+			m.st[slot].dirty = false
+		}
+	}
+}
+
+// setQuarantined flips a store's quarantine state through the manager so
+// the incremental bookkeeping — the always-observed quarantined list and
+// the planner indexes — stays consistent. The planner's failure pass is
+// the normal caller; tests use it in place of poking the field.
+func (m *Manager) setQuarantined(ds *Datastore, q bool) {
+	if ds.quarantined == q {
+		return
+	}
+	ds.quarantined = q
+	slot := ds.slot
+	if q {
+		m.quarSlots = insertSlot(m.quarSlots, slot)
+		m.srcIdx.Remove(slot)
+		m.dstIdx.Remove(slot)
+		return
+	}
+	m.quarSlots = removeSlot(m.quarSlots, slot)
+	m.updateIndexes(slot)
+}
+
+// insertSlot adds slot to a sorted slice if absent.
+func insertSlot(s []int, slot int) []int {
+	i := sort.SearchInts(s, slot)
+	if i < len(s) && s[i] == slot {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = slot
+	return s
+}
+
+// removeSlot deletes slot from a sorted slice if present.
+func removeSlot(s []int, slot int) []int {
+	i := sort.SearchInts(s, slot)
+	if i >= len(s) || s[i] != slot {
+		return s
+	}
+	return append(s[:i], s[i+1:]...)
+}
+
+// initIncremental wires the dirty-signal callbacks and seeds every store
+// as dirty, so the first epoch observes the whole fleet exactly as a
+// full sweep would. Wiring happens even under Config.FullSweep — the
+// callbacks are cheap and keep a later differential comparison honest —
+// but the full-sweep paths never consult the state they maintain.
+func (m *Manager) initIncremental() {
+	m.perfs = make([]StorePerf, len(m.stores))
+	m.st = make([]storeState, len(m.stores))
+	for i, ds := range m.stores {
+		ds.slot = i
+		slot := i
+		cb := func() { m.markDirty(slot) }
+		ds.onDirty = cb
+		ds.Mon.SetOnActivity(cb)
+		m.perfs[i] = StorePerf{Store: ds}
+		m.st[i] = storeState{idleUS: idleEstimateUS(ds.Dev.Kind()), dirty: true, listed: true}
+		m.pending = append(m.pending, i)
+		if ds.quarantined {
+			m.quarSlots = insertSlot(m.quarSlots, i)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package mgmt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// diffWorld is one self-contained simulation for the incremental-vs-
+// full-sweep differential tests: flaky-backed stores with distinct
+// latencies, a randomized VMDK/workload population, and an optional
+// deterministic fault window on one store to exercise the quarantine →
+// evacuation → probation → readmission lifecycle.
+type diffWorld struct {
+	eng     *sim.Engine
+	mgr     *Manager
+	stores  []*Datastore
+	runners []*workload.Runner
+	epochs  []string // one digest per epoch, from OnEpoch
+}
+
+// newDiffWorld builds a world from a seed. Both members of a differential
+// pair are built from the same seed, so they are identical except for
+// Config.FullSweep.
+func newDiffWorld(t *testing.T, seed int64, fullSweep, faulty bool) *diffWorld {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	eng := sim.NewEngine()
+
+	// 6 stores with spread latencies: fast ones become destinations,
+	// slow loaded ones become sources.
+	lats := []sim.Time{20, 40, 80, 200, 500, 1200}
+	w := &diffWorld{eng: eng}
+	var devs []*flaky
+	for i, lat := range lats {
+		f := newFlaky(eng, fmt.Sprintf("ds%d", i), lat*sim.Microsecond)
+		devs = append(devs, f)
+		w.stores = append(w.stores, NewDatastore(f, 0))
+	}
+	if faulty {
+		// Store 1 fails every request between 10ms and 25ms of sim time:
+		// long enough to trip quarantine, finite so probation readmits it.
+		devs[1].fail = func(r *trace.IORequest) bool {
+			now := eng.Now()
+			return now >= 10*sim.Millisecond && now < 25*sim.Millisecond
+		}
+	}
+
+	cfg := DefaultConfig()
+	cfg.Window = 2 * sim.Millisecond
+	cfg.MinWindowRequests = 2
+	cfg.MaxConcurrentMigrations = 2
+	cfg.DebounceWindows = 1 + rng.Intn(2)
+	cfg.MinResidenceWindows = uint64(1 + rng.Intn(4))
+	cfg.ProbationWindows = 3
+	cfg.QuarantineMinErrors = 3
+	cfg.FullSweep = fullSweep
+	schemes := []Scheme{BASIL(), Pesto(), LightSRM()}
+	scheme := schemes[rng.Intn(len(schemes))]
+	w.mgr = NewManager(eng, cfg, scheme, w.stores)
+
+	// 12 VMDKs spread over the stores; roughly half get a workload (the
+	// rest stay idle so some stores settle and drop off the worklist —
+	// the randomized dirty sets the differential is about).
+	id := 0
+	for i := 0; i < 12; i++ {
+		id++
+		ds := w.stores[rng.Intn(len(w.stores))]
+		v, err := ds.CreateVMDK(id, int64(1+rng.Intn(4))<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		p := workload.Profile{
+			Name:       fmt.Sprintf("w%d", id),
+			WriteRatio: 0.3 + 0.4*rng.Float64(),
+			ReadRand:   rng.Float64(),
+			WriteRand:  rng.Float64(),
+			IOSize:     4096,
+			OIO:        1 + rng.Intn(6),
+			Footprint:  v.Size,
+		}
+		w.runners = append(w.runners, workload.NewRunner(eng, sim.NewRNG(uint64(seed)+uint64(id)), p, v, 0))
+	}
+
+	// Digest every epoch's full performance vector, bit-exactly.
+	w.mgr.OnEpoch = func(perfs []StorePerf) {
+		var b strings.Builder
+		for i := range perfs {
+			p := &perfs[i]
+			fmt.Fprintf(&b, "%d:%x/%x/%x/%d q=%v wc=%x,%x,%x,%x,%x,%x;",
+				i, math.Float64bits(p.PerfUS), math.Float64bits(p.Norm),
+				math.Float64bits(p.MeasuredUS), p.Requests, p.Store.Quarantined(),
+				math.Float64bits(p.WC.WriteRatio), math.Float64bits(p.WC.OIOs),
+				math.Float64bits(p.WC.IOSize), math.Float64bits(p.WC.WriteRand),
+				math.Float64bits(p.WC.ReadRand), math.Float64bits(p.WC.FreeSpaceRatio))
+		}
+		w.epochs = append(w.epochs, b.String())
+	}
+	return w
+}
+
+// run drives the world for 40 management windows and returns its final
+// observable summary: stats, decision log, and VMDK placement.
+func (w *diffWorld) run() string {
+	for _, r := range w.runners {
+		r.Start()
+	}
+	w.mgr.Start()
+	w.eng.RunFor(40 * w.mgr.cfg.Window)
+	for _, r := range w.runners {
+		r.Stop()
+	}
+	w.mgr.Stop()
+	w.eng.Run()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "stats=%+v\n", w.mgr.Stats())
+	for _, d := range w.mgr.Log().Entries() {
+		fmt.Fprintf(&b, "dec %d %s v%d %s->%s %s\n", d.At, d.Kind, d.VMDK, d.Src, d.Dst, d.Detail)
+	}
+	for _, ds := range w.stores {
+		for _, v := range ds.VMDKs() {
+			fmt.Fprintf(&b, "vmdk %d on %s migrating=%v\n", v.ID, v.Store().Dev.Name(), v.Migrating())
+		}
+	}
+	return b.String()
+}
+
+// TestIncrementalMatchesFullSweep is the differential property test for
+// DESIGN.md §14: across randomized fleets, workloads, schemes, and
+// config knobs — with and without an injected failure window — the
+// incremental pipeline must make bit-identical observations and
+// decisions to the full-sweep reference, epoch for epoch.
+func TestIncrementalMatchesFullSweep(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		for _, faulty := range []bool{false, true} {
+			name := fmt.Sprintf("seed%d_faulty%v", seed, faulty)
+			t.Run(name, func(t *testing.T) {
+				inc := newDiffWorld(t, seed, false, faulty)
+				ref := newDiffWorld(t, seed, true, faulty)
+				incSum := inc.run()
+				refSum := ref.run()
+				if len(inc.epochs) != len(ref.epochs) {
+					t.Fatalf("epoch counts differ: incremental %d, full sweep %d",
+						len(inc.epochs), len(ref.epochs))
+				}
+				for i := range inc.epochs {
+					if inc.epochs[i] != ref.epochs[i] {
+						t.Fatalf("epoch %d perf vectors diverge:\nincremental: %s\nfull sweep:  %s",
+							i, inc.epochs[i], ref.epochs[i])
+					}
+				}
+				if incSum != refSum {
+					t.Fatalf("final summaries diverge:\nincremental:\n%s\nfull sweep:\n%s", incSum, refSum)
+				}
+			})
+		}
+	}
+}
+
+// TestSettledStoresLeaveWorklist pins the scaling property the
+// incremental pipeline exists for: once traffic stops and every store's
+// EWMA reaches its fixed point, the per-epoch worklist drains to empty —
+// epoch cost tracks activity, not fleet size.
+func TestSettledStoresLeaveWorklist(t *testing.T) {
+	w := newDiffWorld(t, 3, false, false)
+	for _, r := range w.runners {
+		r.Start()
+	}
+	w.mgr.Start()
+	w.eng.RunFor(10 * w.mgr.cfg.Window)
+	for _, r := range w.runners {
+		r.Stop()
+	}
+	// Let in-flight I/O and migrations drain, then run idle epochs. The
+	// EWMA halves its distance to the fixed point each epoch, so the
+	// float64 fixed point needs ~60 epochs in the worst case.
+	w.eng.RunFor(120 * w.mgr.cfg.Window)
+	if got := len(w.mgr.work); got != 0 {
+		t.Fatalf("worklist still has %d stores after long quiescence (pending %d)",
+			got, len(w.mgr.pending))
+	}
+	// The performance vector must still be fully populated for consumers.
+	for i := range w.mgr.perfs {
+		if w.mgr.perfs[i].Store == nil || w.mgr.perfs[i].PerfUS <= 0 {
+			t.Fatalf("perfs[%d] not maintained while settled: %+v", i, w.mgr.perfs[i])
+		}
+	}
+	w.mgr.Stop()
+	w.eng.Run()
+}
+
+// TestBatchPlannerLaunchesUpToBudget verifies BalancePlanner.Batch: with
+// a concurrency budget of 3 and several hot candidates on one overloaded
+// store, a single epoch launches multiple migrations (the non-batch
+// planner launches at most one per epoch).
+func TestBatchPlannerLaunchesUpToBudget(t *testing.T) {
+	eng := sim.NewEngine()
+	slow := NewDatastore(newFlaky(eng, "slow", 3000*sim.Microsecond), 0)
+	fast := NewDatastore(newFlaky(eng, "fast", 20*sim.Microsecond), 0)
+	cfg := DefaultConfig()
+	cfg.Window = 5 * sim.Millisecond
+	cfg.MinWindowRequests = 1
+	cfg.MaxConcurrentMigrations = 3
+	cfg.DebounceWindows = 1
+	scheme := Scheme{
+		Name:    "batch",
+		Planner: Planners{FailurePlanner{}, GatePlanner{}, BalancePlanner{Batch: true}},
+	}
+	mgr := NewManager(eng, cfg, scheme, []*Datastore{slow, fast})
+	var runners []*workload.Runner
+	for id := 1; id <= 4; id++ {
+		v, err := slow.CreateVMDK(id, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := workload.Profile{Name: fmt.Sprintf("w%d", id), WriteRatio: 0.5,
+			ReadRand: 0.5, WriteRand: 0.5, IOSize: 4096, OIO: 2, Footprint: 1 << 20}
+		runners = append(runners, workload.NewRunner(eng, sim.NewRNG(uint64(id)), p, v, 0))
+	}
+	maxPerEpoch := uint64(0)
+	last := uint64(0)
+	mgr.OnEpoch = func([]StorePerf) {
+		// OnEpoch fires before Plan; the delta since the previous epoch is
+		// what last epoch's plan launched.
+		started := mgr.Stats().MigrationsStarted
+		if d := started - last; d > maxPerEpoch {
+			maxPerEpoch = d
+		}
+		last = started
+	}
+	for _, r := range runners {
+		r.Start()
+	}
+	mgr.Start()
+	eng.RunFor(6 * cfg.Window)
+	for _, r := range runners {
+		r.Stop()
+	}
+	mgr.Stop()
+	eng.Run()
+	if maxPerEpoch < 2 {
+		t.Fatalf("batch planner never launched >1 migration in an epoch (max %d, total %d)",
+			maxPerEpoch, mgr.Stats().MigrationsStarted)
+	}
+	if mgr.Stats().MigrationsStarted == 0 {
+		t.Fatal("no migrations launched at all")
+	}
+}
+
+// TestScanStatsTrackWorklist pins the white-box shape of one epoch's
+// incremental work: after the first (all-dirty) epoch, an idle fleet's
+// worklist shrinks monotonically toward the settling set.
+func TestScanStatsTrackWorklist(t *testing.T) {
+	eng := sim.NewEngine()
+	var stores []*Datastore
+	for i := 0; i < 8; i++ {
+		stores = append(stores, NewDatastore(newFlaky(eng, fmt.Sprintf("s%d", i), 50*sim.Microsecond), 0))
+	}
+	cfg := DefaultConfig()
+	cfg.Window = sim.Millisecond
+	mgr := NewManager(eng, cfg, BASIL(), stores)
+	var sizes []int
+	mgr.OnEpoch = func([]StorePerf) { sizes = append(sizes, len(mgr.work)) }
+	mgr.Start()
+	eng.RunFor(10 * cfg.Window)
+	mgr.Stop()
+	eng.Run()
+	if len(sizes) < 3 {
+		t.Fatalf("too few epochs observed: %v", sizes)
+	}
+	if sizes[0] != len(stores) {
+		t.Fatalf("first epoch must observe the whole fleet: %v", sizes)
+	}
+	// With α = 0.5 and no traffic, every store's EWMA hits its exact
+	// fixed point and the worklist empties.
+	if sizes[len(sizes)-1] != 0 {
+		t.Fatalf("idle fleet never settled: %v", sizes)
+	}
+}

@@ -157,10 +157,14 @@ func describeStage(stage any) string {
 	case GatePlanner:
 		return "regate"
 	case BalancePlanner:
+		out := "balance"
 		if v.GateProposals {
-			return "balance(gated)"
+			out = "balance(gated)"
 		}
-		return "balance"
+		if v.Batch {
+			out += "+batch"
+		}
+		return out
 	case Planners:
 		parts := make([]string, len(v))
 		for i, p := range v {

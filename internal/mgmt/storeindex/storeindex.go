@@ -1,0 +1,159 @@
+// Package storeindex provides an indexed binary min-heap keyed by a
+// (float64 key, int id) pair, used by the management planner to keep an
+// always-current ordered view of per-store estimated latency without
+// re-scanning the fleet every epoch.
+//
+// The heap supports Set (insert or re-key, i.e. decrease-key and
+// increase-key in one call), Remove, Min, and Len, each O(log n) or
+// better, via a position map from id to heap slot. Ordering is strictly
+// deterministic: entries compare first by key and then by id, so two
+// entries with equal keys always order by ascending id. This mirrors the
+// full-sweep planner's "first store in iteration order wins ties" rule —
+// a sweep using a strict < comparison over stores in slot order selects
+// the lowest-id store among equals, exactly the (key, id) lexicographic
+// minimum. The determinism contract (DESIGN §9, §14) depends on this:
+// the index must never consult map iteration order, pointer values, or
+// any other unstable tie-breaker.
+//
+// Keys must not be NaN; comparisons against NaN are not transitive and
+// would corrupt the heap invariant. Callers index stores by their dense
+// manager slot, so ids are small non-negative integers, but the
+// structure itself accepts any int id.
+package storeindex
+
+// entry is one (id, key) pair stored in the heap array.
+type entry struct {
+	id  int
+	key float64
+}
+
+// Index is an indexed binary min-heap over (key, id) pairs. The zero
+// value is ready to use. Index is not safe for concurrent use; the
+// management pipeline mutates it only from engine callbacks, which the
+// simulator runs single-threaded (DESIGN §9).
+type Index struct {
+	heap []entry     // heap[0] is the minimum by (key, id)
+	pos  map[int]int // id -> slot in heap
+}
+
+// Len reports the number of entries currently in the index.
+func (x *Index) Len() int { return len(x.heap) }
+
+// Contains reports whether id currently has an entry.
+func (x *Index) Contains(id int) bool {
+	_, ok := x.pos[id]
+	return ok
+}
+
+// Key returns the key stored for id, and whether id is present.
+func (x *Index) Key(id int) (float64, bool) {
+	i, ok := x.pos[id]
+	if !ok {
+		return 0, false
+	}
+	return x.heap[i].key, true
+}
+
+// Min returns the id and key of the minimum entry under (key, id)
+// ordering without removing it. ok is false when the index is empty.
+func (x *Index) Min() (id int, key float64, ok bool) {
+	if len(x.heap) == 0 {
+		return 0, 0, false
+	}
+	return x.heap[0].id, x.heap[0].key, true
+}
+
+// Set inserts id with the given key, or re-keys id if already present.
+// Re-keying moves the entry up or down as needed, so Set serves as both
+// decrease-key and increase-key.
+func (x *Index) Set(id int, key float64) {
+	if x.pos == nil {
+		x.pos = make(map[int]int)
+	}
+	if i, ok := x.pos[id]; ok {
+		old := x.heap[i].key
+		if old == key {
+			return
+		}
+		x.heap[i].key = key
+		if key < old {
+			x.up(i)
+		} else {
+			x.down(i)
+		}
+		return
+	}
+	x.heap = append(x.heap, entry{id: id, key: key})
+	i := len(x.heap) - 1
+	x.pos[id] = i
+	x.up(i)
+}
+
+// Remove deletes id from the index if present and reports whether an
+// entry was removed.
+func (x *Index) Remove(id int) bool {
+	i, ok := x.pos[id]
+	if !ok {
+		return false
+	}
+	last := len(x.heap) - 1
+	x.swap(i, last)
+	x.heap = x.heap[:last]
+	delete(x.pos, id)
+	if i < last {
+		// The displaced entry may need to move either direction.
+		x.up(i)
+		x.down(i)
+	}
+	return true
+}
+
+// less orders entries by (key, id) lexicographically.
+func (x *Index) less(a, b entry) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.id < b.id
+}
+
+// swap exchanges two heap slots and fixes the position map.
+func (x *Index) swap(i, j int) {
+	if i == j {
+		return
+	}
+	x.heap[i], x.heap[j] = x.heap[j], x.heap[i]
+	x.pos[x.heap[i].id] = i
+	x.pos[x.heap[j].id] = j
+}
+
+// up restores the heap invariant by sifting slot i toward the root.
+func (x *Index) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !x.less(x.heap[i], x.heap[parent]) {
+			return
+		}
+		x.swap(i, parent)
+		i = parent
+	}
+}
+
+// down restores the heap invariant by sifting slot i toward the leaves.
+func (x *Index) down(i int) {
+	n := len(x.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		child := left
+		if right := left + 1; right < n && x.less(x.heap[right], x.heap[left]) {
+			child = right
+		}
+		if !x.less(x.heap[child], x.heap[i]) {
+			return
+		}
+		x.swap(i, child)
+		i = child
+	}
+}

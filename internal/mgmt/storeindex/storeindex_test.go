@@ -1,0 +1,181 @@
+package storeindex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIndexBasic(t *testing.T) {
+	var x Index
+	if _, _, ok := x.Min(); ok {
+		t.Fatalf("Min on empty index reported ok")
+	}
+	if x.Len() != 0 || x.Contains(3) {
+		t.Fatalf("empty index reports Len=%d Contains(3)=%v", x.Len(), x.Contains(3))
+	}
+	x.Set(3, 5.0)
+	x.Set(1, 7.0)
+	x.Set(2, 4.0)
+	if x.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", x.Len())
+	}
+	if id, key, ok := x.Min(); !ok || id != 2 || key != 4.0 {
+		t.Fatalf("Min = (%d, %v, %v), want (2, 4, true)", id, key, ok)
+	}
+	if k, ok := x.Key(1); !ok || k != 7.0 {
+		t.Fatalf("Key(1) = (%v, %v), want (7, true)", k, ok)
+	}
+	if _, ok := x.Key(99); ok {
+		t.Fatalf("Key(99) reported present")
+	}
+}
+
+func TestIndexTieBreaksByID(t *testing.T) {
+	var x Index
+	x.Set(7, 1.5)
+	x.Set(2, 1.5)
+	x.Set(5, 1.5)
+	if id, _, _ := x.Min(); id != 2 {
+		t.Fatalf("tie broke to id %d, want lowest id 2", id)
+	}
+	x.Remove(2)
+	if id, _, _ := x.Min(); id != 5 {
+		t.Fatalf("after removing 2, tie broke to id %d, want 5", id)
+	}
+}
+
+func TestIndexDecreaseAndIncreaseKey(t *testing.T) {
+	var x Index
+	for i := 0; i < 8; i++ {
+		x.Set(i, float64(10+i))
+	}
+	// Decrease-key: move a deep entry to the root.
+	x.Set(7, 1.0)
+	if id, key, _ := x.Min(); id != 7 || key != 1.0 {
+		t.Fatalf("after decrease-key Min = (%d, %v), want (7, 1)", id, key)
+	}
+	// Increase-key: push the root back down.
+	x.Set(7, 100.0)
+	if id, _, _ := x.Min(); id != 0 {
+		t.Fatalf("after increase-key Min id = %d, want 0", id)
+	}
+	// Re-keying with the same key is a no-op.
+	x.Set(0, 10.0)
+	if id, key, _ := x.Min(); id != 0 || key != 10.0 {
+		t.Fatalf("same-key Set changed Min to (%d, %v)", id, key)
+	}
+}
+
+func TestIndexRemove(t *testing.T) {
+	var x Index
+	for i := 0; i < 5; i++ {
+		x.Set(i, float64(i))
+	}
+	if !x.Remove(0) {
+		t.Fatalf("Remove(0) reported absent")
+	}
+	if x.Remove(0) {
+		t.Fatalf("second Remove(0) reported present")
+	}
+	if id, _, _ := x.Min(); id != 1 {
+		t.Fatalf("Min after removing root = %d, want 1", id)
+	}
+	if !x.Remove(3) || x.Len() != 3 {
+		t.Fatalf("Remove(3) failed or Len=%d != 3", x.Len())
+	}
+	for _, want := range []int{1, 2, 4} {
+		id, _, ok := x.Min()
+		if !ok || id != want {
+			t.Fatalf("drain got id %d ok=%v, want %d", id, ok, want)
+		}
+		x.Remove(id)
+	}
+	if x.Len() != 0 {
+		t.Fatalf("index not empty after drain: Len=%d", x.Len())
+	}
+}
+
+// TestIndexQuarantineExclusion exercises the planner's usage pattern:
+// quarantined stores are removed from the index and readmitted later
+// with fresh keys, and Min never reports an excluded store.
+func TestIndexQuarantineExclusion(t *testing.T) {
+	var x Index
+	keys := map[int]float64{0: 3.0, 1: 1.0, 2: 2.0, 3: 4.0}
+	for id, k := range keys {
+		x.Set(id, k)
+	}
+	// Store 1 (the current minimum) is quarantined.
+	x.Remove(1)
+	if id, _, _ := x.Min(); id != 2 {
+		t.Fatalf("Min with store 1 quarantined = %d, want 2", id)
+	}
+	// Store 2 is quarantined too; only healthy stores remain visible.
+	x.Remove(2)
+	if id, _, _ := x.Min(); id != 0 {
+		t.Fatalf("Min with stores 1,2 quarantined = %d, want 0", id)
+	}
+	// Readmission re-inserts with a fresh (worse) key.
+	x.Set(1, 10.0)
+	if id, _, _ := x.Min(); id != 0 {
+		t.Fatalf("Min after readmitting store 1 = %d, want 0", id)
+	}
+	if k, ok := x.Key(1); !ok || k != 10.0 {
+		t.Fatalf("readmitted key = (%v, %v), want (10, true)", k, ok)
+	}
+}
+
+// refMin is the O(n) reference the heap must agree with: the minimum
+// under (key, id) lexicographic order, scanning ids in ascending order.
+func refMin(ref map[int]float64) (int, float64, bool) {
+	best, bestKey, ok := 0, 0.0, false
+	for id := 0; id < 1024; id++ {
+		k, present := ref[id]
+		if !present {
+			continue
+		}
+		if !ok || k < bestKey {
+			best, bestKey, ok = id, k, true
+		}
+	}
+	return best, bestKey, ok
+}
+
+// TestIndexRandomizedAgainstReference drives a long random sequence of
+// Set/Remove operations and checks Min, Len, Contains, and Key against a
+// plain map reference after every step.
+func TestIndexRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x Index
+	ref := make(map[int]float64)
+	for step := 0; step < 20000; step++ {
+		id := rng.Intn(64)
+		switch rng.Intn(3) {
+		case 0, 1: // Set twice as often as Remove to keep the heap populated.
+			key := float64(rng.Intn(32)) / 4.0 // coarse keys force ties
+			x.Set(id, key)
+			ref[id] = key
+		case 2:
+			removed := x.Remove(id)
+			_, present := ref[id]
+			if removed != present {
+				t.Fatalf("step %d: Remove(%d)=%v, reference present=%v", step, id, removed, present)
+			}
+			delete(ref, id)
+		}
+		if x.Len() != len(ref) {
+			t.Fatalf("step %d: Len=%d, reference %d", step, x.Len(), len(ref))
+		}
+		gotID, gotKey, gotOK := x.Min()
+		wantID, wantKey, wantOK := refMin(ref)
+		if gotOK != wantOK || (gotOK && (gotID != wantID || gotKey != wantKey)) {
+			t.Fatalf("step %d: Min=(%d,%v,%v), want (%d,%v,%v)",
+				step, gotID, gotKey, gotOK, wantID, wantKey, wantOK)
+		}
+		probe := rng.Intn(64)
+		k, ok := x.Key(probe)
+		refK, refOK := ref[probe]
+		if ok != refOK || (ok && k != refK) {
+			t.Fatalf("step %d: Key(%d)=(%v,%v), want (%v,%v)", step, probe, k, ok, refK, refOK)
+		}
+	}
+}

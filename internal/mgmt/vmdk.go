@@ -155,6 +155,11 @@ func (v *VMDK) markUnmigrated(b int64) {
 // split at block granularity; for simplicity a spanning request routes by
 // its first block (requests are block-aligned in all provided workloads).
 func (v *VMDK) Submit(r *trace.IORequest, done device.Completion) {
+	if v.windowRequests == 0 {
+		// First activity this window: join the primary store's touched
+		// list so incremental management observes and resets it.
+		v.src.noteTouched(v)
+	}
 	v.windowRequests++
 	v.windowBytes += r.Size
 	v.totalRequests++
