@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/lint"
 	"repro/internal/mgmt"
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
@@ -646,6 +647,74 @@ func BenchmarkExperimentsParallel(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchLintRecord is the BENCH_lint.json schema: the cost of one full
+// hsmlint pass over the module (fresh parse + type-check every
+// iteration; the per-module caches are deliberately not reused across
+// iterations, matching a cold CI invocation).
+type benchLintRecord struct {
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Checks       int     `json:"checks"`
+	Packages     int     `json:"packages"`
+	Findings     int     `json:"findings"`
+	Iterations   int     `json:"iterations"`
+	MsPerRun     float64 `json:"ms_per_run"`
+	NsPerPackage float64 `json:"ns_per_package"`
+}
+
+// BenchmarkHsmlint times the full lint suite — all nine checks,
+// including the module-wide call-graph build — over this repository,
+// and records the cost in BENCH_lint.json so linter growth is tracked
+// like every other perf claim. One benchmark op is one complete run
+// (module load, type check, graph, checks, suppression).
+func BenchmarkHsmlint(b *testing.B) {
+	m, err := lint.LoadModule(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dirs, err := m.Dirs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		b.Fatal("no packages to lint")
+	}
+	findings := 0
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		fs, err := lint.Run(".", dirs, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		findings = len(fs)
+	}
+	wall := time.Since(start)
+	b.StopTimer()
+	if findings != 0 {
+		b.Fatalf("repository not lint-clean: %d finding(s)", findings)
+	}
+	perRun := wall.Seconds() * 1e3 / float64(b.N)
+	perPkg := float64(wall.Nanoseconds()) / float64(b.N) / float64(len(dirs))
+	b.ReportMetric(perRun, "ms/run")
+	b.ReportMetric(perPkg/1e6, "ms/package")
+	rec := benchLintRecord{
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Checks:       len(lint.Checks()),
+		Packages:     len(dirs),
+		Findings:     findings,
+		Iterations:   b.N,
+		MsPerRun:     perRun,
+		NsPerPackage: perPkg,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_lint.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	go run ./cmd/hsmlint [-json] [-checks walltime,docs,...] [pattern ...]
+//	go run ./cmd/hsmlint [-format text|json|github] [-checks walltime,docs,...] [pattern ...]
 //
-// Patterns follow the go tool's shape: "./..." (default) lints the whole
-// module, "./internal/..." a subtree, "./internal/sim" one package.
-// Findings print one per line as "file:line: [check] message" (or as a
-// JSON array with -json) and the exit status is 1 when there are
-// findings, 2 on usage or load errors, 0 when clean.
+// Patterns follow the go tool's shape and are resolved against the
+// working directory, exactly like the go tool: "./..." (default) lints
+// everything under the current directory, "./internal/..." a subtree,
+// "./internal/sim" one package. Findings print one per line as
+// "file:line: [check] message"; -format=json emits a JSON array
+// (-json is the legacy spelling) and -format=github emits GitHub
+// Actions workflow annotations ("::error file=...,line=...::[check]
+// message") so findings land inline on pull requests. The exit status
+// is 1 when there are findings, 2 on usage or load errors, 0 when
+// clean.
 package main
 
 import (
@@ -34,9 +39,19 @@ func main() {
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("hsmlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	jsonOut := fs.Bool("json", false, "shorthand for -format=json")
+	format := fs.String("format", "text", "output format: text, json, or github (workflow annotations)")
 	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all of "+strings.Join(lint.Checks(), ",")+")")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(stderr, "hsmlint: unknown -format %q (text, json, or github)\n", *format)
 		return 2
 	}
 	patterns := fs.Args()
@@ -63,7 +78,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "hsmlint:", err)
 		return 2
 	}
-	if *jsonOut {
+	switch *format {
+	case "json":
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -73,7 +89,11 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintln(stderr, "hsmlint:", err)
 			return 2
 		}
-	} else {
+	case "github":
+		for _, f := range findings {
+			fmt.Fprintln(stdout, githubAnnotation(f))
+		}
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)
 		}
@@ -83,6 +103,28 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// githubAnnotation renders a finding as a GitHub Actions workflow
+// command, which the runner turns into an inline PR annotation. Values
+// use the Actions escaping rules: % CR LF everywhere, plus ":" and ","
+// inside properties.
+func githubAnnotation(f lint.Finding) string {
+	return fmt.Sprintf("::error file=%s,line=%d::%s",
+		githubEscapeProp(f.File), f.Line,
+		githubEscapeData(fmt.Sprintf("[%s] %s", f.Check, f.Message)))
+}
+
+// githubEscapeData escapes a workflow-command message value.
+func githubEscapeData(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+// githubEscapeProp escapes a workflow-command property value.
+func githubEscapeProp(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return r.Replace(s)
 }
 
 // findModuleRoot walks up from the working directory to the nearest
@@ -144,14 +186,17 @@ func expandPatterns(root string, patterns []string) ([]string, error) {
 }
 
 // patternRel normalizes one pattern against the module root, reporting
-// whether it is recursive ("/..." suffix). An empty rel means the pattern
-// escapes the module.
+// whether it is recursive ("/..." suffix). An empty rel means the
+// pattern escapes the module. Patterns are relative to the *working
+// directory*, matching the go tool: "./..." in a subdirectory means
+// that subtree, not the whole module (it used to mean the module, which
+// silently over-linted when invoked from a package directory).
 func patternRel(root, pat string) (rel string, recursive bool) {
 	if p, ok := strings.CutSuffix(pat, "/..."); ok {
 		recursive = true
 		pat = p
-		if pat == "." || pat == "" {
-			return ".", true
+		if pat == "" {
+			pat = "."
 		}
 	}
 	abs, err := filepath.Abs(pat)

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// fixtureModule returns the absolute path of internal/lint's golden
+// fixture module, the same corpus the linter's own tests run against.
+func fixtureModule(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(abs, "go.mod")); err != nil {
+		t.Fatalf("fixture module missing: %v", err)
+	}
+	return abs
+}
+
+// TestPatternExpansionFromSubdir audits pattern expansion from a
+// non-root working directory: like the go tool, a relative "./..."
+// means the subtree under the *current directory*, not the whole
+// module, and plain relative patterns resolve against the working
+// directory too.
+func TestPatternExpansionFromSubdir(t *testing.T) {
+	root := fixtureModule(t)
+	t.Chdir(filepath.Join(root, "internal"))
+
+	got, err := expandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range got {
+		if !strings.HasPrefix(d, "internal/") {
+			t.Errorf("./... from internal/ must stay inside the subtree, got %q", d)
+		}
+	}
+	if len(got) < 5 {
+		t.Errorf("./... from internal/ matched only %v", got)
+	}
+
+	one, err := expandPatterns(root, []string{"./journalfence"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"internal/journalfence"}; !reflect.DeepEqual(one, want) {
+		t.Errorf("./journalfence from internal/ = %v, want %v", one, want)
+	}
+
+	up, err := expandPatterns(root, []string{"../..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeModule := false
+	for _, d := range up {
+		if d == "." || strings.HasPrefix(d, "cmd/") {
+			wholeModule = true
+		}
+	}
+	if !wholeModule {
+		t.Errorf("../... from internal/ must cover the whole module, got %v", up)
+	}
+
+	if _, err := expandPatterns(root, []string{"../../..."}); err == nil {
+		t.Error("pattern escaping the module must be an error")
+	}
+	if _, err := expandPatterns(root, []string{"./nosuchpkg"}); err == nil {
+		t.Error("pattern matching no packages must be an error")
+	}
+}
+
+// TestPatternExpansionFromRoot pins that the CI invocation shape —
+// "./..." from the module root — still expands to every package.
+func TestPatternExpansionFromRoot(t *testing.T) {
+	root := fixtureModule(t)
+	t.Chdir(root)
+	got, err := expandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := lint.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := m.Dirs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, all) {
+		t.Errorf("./... from root = %v, want all dirs %v", got, all)
+	}
+}
+
+// TestGithubFormat runs the CLI end to end (in process) with
+// -format=github over a fixture package and checks the workflow
+// annotation shape.
+func TestGithubFormat(t *testing.T) {
+	root := fixtureModule(t)
+	t.Chdir(root)
+	outF, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run([]string{"-format=github", "-checks", "floatorder", "./internal/floatorder"}, outF, errF)
+	if code != 1 {
+		data, _ := os.ReadFile(errF.Name())
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, data)
+	}
+	data, err := os.ReadFile(outF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 annotations, got %d:\n%s", len(lines), data)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "::error file=internal/floatorder/f.go,line=") {
+			t.Errorf("annotation shape wrong: %q", line)
+		}
+		if !strings.Contains(line, "::[floatorder] ") {
+			t.Errorf("annotation missing check-tagged message: %q", line)
+		}
+	}
+}
+
+// TestGithubEscaping pins the workflow-command escaping rules.
+func TestGithubEscaping(t *testing.T) {
+	f := lint.Finding{File: "a,b:c.go", Line: 7, Check: "walltime", Message: "50% bad\nnext"}
+	got := githubAnnotation(f)
+	want := "::error file=a%2Cb%3Ac.go,line=7::[walltime] 50%25 bad%0Anext"
+	if got != want {
+		t.Errorf("githubAnnotation = %q, want %q", got, want)
+	}
+}
+
+// TestUnknownFormat pins the usage error for a bad -format value.
+func TestUnknownFormat(t *testing.T) {
+	outF, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-format=yaml"}, outF, errF); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+}

@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/lint"
@@ -43,5 +44,20 @@ func TestDocLint(t *testing.T) {
 func TestLintClean(t *testing.T) {
 	for _, f := range lintModule(t, nil) {
 		t.Error(f)
+	}
+}
+
+// TestLintSuiteRegistry pins the expanded hsmlint v2 suite: all nine
+// checks, in registry order, on by default. A check silently dropped
+// from the registry would leave TestLintClean green while the gate it
+// provided disappears — this test turns that into a failure.
+func TestLintSuiteRegistry(t *testing.T) {
+	want := []string{
+		"walltime", "walltimereach", "globalrand", "maporder",
+		"floatorder", "goroutineownership", "indexsync", "journalfence",
+		"docs",
+	}
+	if got := lint.Checks(); !reflect.DeepEqual(got, want) {
+		t.Errorf("lint.Checks() = %v, want %v", got, want)
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/mgmt"
@@ -113,8 +114,16 @@ func FaultMatrix(scale Scale) (*FaultMatrixResult, error) {
 			Evacuations:   rep.Migration.Evacuations,
 			Readmissions:  rep.Migration.Readmissions,
 		}
-		for _, iops := range rep.WorkloadIOPS {
-			row.IOPS += iops
+		// Sum in sorted-app order: float addition is not associative, so
+		// accumulating in map order would make the committed row differ
+		// run to run.
+		apps := make([]string, 0, len(rep.WorkloadIOPS))
+		for a := range rep.WorkloadIOPS {
+			apps = append(apps, a)
+		}
+		sort.Strings(apps)
+		for _, a := range apps {
+			row.IOPS += rep.WorkloadIOPS[a]
 		}
 		if sys.Injector != nil {
 			injected, outages, degraded, dropped, stalled := sys.Injector.Stats().Totals()

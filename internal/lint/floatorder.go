@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkFloatOrder closes the maporder gap for pure arithmetic: floating-
+// point addition is not associative, so accumulating a float across a
+// map range produces run-to-run different sums even though no writer or
+// telemetry sink is involved — the one §9 violation maporder cannot see.
+// Inside any range over a map (including loops nested under it, and
+// function literals defined there), the check flags
+//
+//   - compound float accumulation: x += v, x -= v, x *= v, x /= v
+//   - the spelled-out form: x = x + v (an assignment to a float
+//     identifier whose right side mentions the identifier)
+//
+// Plain reassignment (max = v inside a comparison) is not accumulation
+// and stays clean; so does integer accumulation, and so does the
+// blessed sorted-keys idiom, which ranges over a slice.
+func checkFloatOrder(m *Module, p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(p, rs.X) {
+				return true
+			}
+			ast.Inspect(rs.Body, func(inner ast.Node) bool {
+				st, ok := inner.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				out = append(out, floatAccumulation(m, p, st)...)
+				return true
+			})
+			// The whole body was just scanned; do not descend further, or
+			// a map range nested inside this one would be scanned twice.
+			return false
+		})
+	}
+	return out
+}
+
+// floatAccumulation reports the float accumulations in one assignment
+// statement found inside a map-range body.
+func floatAccumulation(m *Module, p *Package, st *ast.AssignStmt) []Finding {
+	var out []Finding
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range st.Lhs {
+			if !isFloat(p, lhs) {
+				continue
+			}
+			file, line := m.relFile(st.Pos())
+			out = append(out, Finding{File: file, Line: line, Check: "floatorder",
+				Message: fmt.Sprintf("%s accumulates a float across map iteration order; float addition is not associative — iterate sorted keys (DESIGN.md §9)",
+					types.ExprString(lhs))})
+		}
+	case token.ASSIGN:
+		for i, lhs := range st.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || !isFloat(p, lhs) || i >= len(st.Rhs) {
+				continue
+			}
+			if !exprMentions(st.Rhs[i], id.Name) {
+				continue
+			}
+			file, line := m.relFile(st.Pos())
+			out = append(out, Finding{File: file, Line: line, Check: "floatorder",
+				Message: fmt.Sprintf("%s accumulates a float across map iteration order; float addition is not associative — iterate sorted keys (DESIGN.md §9)",
+					id.Name)})
+		}
+	}
+	return out
+}
+
+// isFloat reports whether an expression's type is a floating-point kind
+// (through named types).
+func isFloat(p *Package, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

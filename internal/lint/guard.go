@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// This file implements the two *declaration* directives introduced with
+// the interprocedural checks. Unlike //lint:ignore (which suppresses a
+// finding at a use site), these attach an invariant to a declaration so
+// the rule lives next to the data it protects:
+//
+//	//lint:guarded-by <func>[,<func>...]   — on a struct field: only the
+//	    named functions may write the field. <func> is either a bare
+//	    function/method name ("setQuarantined") or a receiver-qualified
+//	    method ("Manager.setQuarantined"). Enforced by the indexsync
+//	    check.
+//
+//	//lint:ack-path <reason>               — on a function declaration:
+//	    the function is an application-write ack/completion entry point.
+//	    Everything reachable from it must journal through AppendIfEpoch.
+//	    Enforced by the journalfence check.
+//
+// A malformed or misplaced declaration directive is reported under the
+// "directive" pseudo-check, exactly like a malformed //lint:ignore, and
+// declares nothing.
+
+// guardedByPrefix and ackPathPrefix are the comment markers for the two
+// declaration directives.
+const (
+	guardedByPrefix = "//lint:guarded-by"
+	ackPathPrefix   = "//lint:ack-path"
+)
+
+// GuardRef names one canonical writer in a //lint:guarded-by list. Recv
+// is the receiver type name for the qualified "Type.name" form, or ""
+// for the bare form, which matches a function or method of that name on
+// any receiver.
+type GuardRef struct {
+	Recv string
+	Name string
+}
+
+// String renders the reference in its source form.
+func (g GuardRef) String() string {
+	if g.Recv != "" {
+		return g.Recv + "." + g.Name
+	}
+	return g.Name
+}
+
+// GuardDecl is one parsed //lint:guarded-by comment. A malformed
+// declaration carries its problem in Err and guards nothing.
+type GuardDecl struct {
+	// Guards are the declared canonical writers (valid declarations
+	// only).
+	Guards []GuardRef
+	// Err describes why the declaration is malformed ("" when valid).
+	Err string
+}
+
+// ParseGuardedBy parses the text of a single comment. It reports
+// ok=false when the comment is not a //lint:guarded-by directive at all.
+// When ok is true, g.Err is non-empty if the declaration is malformed:
+// missing function list, empty name, a segment that is not a Go
+// identifier, too many dots, or trailing text after the list. Exported
+// (and fuzzed) so the grammar has exactly one implementation.
+func ParseGuardedBy(text string) (g GuardDecl, ok bool) {
+	rest, found := strings.CutPrefix(text, guardedByPrefix)
+	if !found {
+		return GuardDecl{}, false
+	}
+	// "//lint:guarded-byte" is a different (unknown) directive, not a
+	// malformed guarded-by; stay out of its way.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return GuardDecl{}, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return GuardDecl{Err: "malformed //lint:guarded-by: missing function list"}, true
+	}
+	if len(fields) > 1 {
+		return GuardDecl{Err: "malformed //lint:guarded-by: unexpected text after the function list (one comma-separated list, no spaces)"}, true
+	}
+	for _, ref := range strings.Split(fields[0], ",") {
+		if ref == "" {
+			return GuardDecl{Err: "malformed //lint:guarded-by: empty function name"}, true
+		}
+		parts := strings.Split(ref, ".")
+		if len(parts) > 2 {
+			return GuardDecl{Err: fmt.Sprintf("malformed //lint:guarded-by: %q has more than one dot (use name or Type.name)", ref)}, true
+		}
+		for _, part := range parts {
+			if !goIdent(part) {
+				return GuardDecl{Err: fmt.Sprintf("malformed //lint:guarded-by: %q is not an identifier or Type.name", ref)}, true
+			}
+		}
+		r := GuardRef{Name: parts[len(parts)-1]}
+		if len(parts) == 2 {
+			r.Recv = parts[0]
+		}
+		g.Guards = append(g.Guards, r)
+	}
+	return g, true
+}
+
+// AckDecl is one parsed //lint:ack-path comment. A malformed declaration
+// carries its problem in Err and marks nothing.
+type AckDecl struct {
+	// Reason is the mandatory free-text justification for why this
+	// function is an ack/completion entry point.
+	Reason string
+	// Err describes why the declaration is malformed ("" when valid).
+	Err string
+}
+
+// parseAckPath parses the text of a single comment, mirroring
+// ParseGuardedBy: ok=false for non-directives, Err for a missing reason.
+func parseAckPath(text string) (a AckDecl, ok bool) {
+	rest, found := strings.CutPrefix(text, ackPathPrefix)
+	if !found {
+		return AckDecl{}, false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return AckDecl{}, false
+	}
+	reason := strings.TrimSpace(rest)
+	if reason == "" {
+		return AckDecl{Err: "malformed //lint:ack-path: missing reason (a justification is mandatory)"}, true
+	}
+	return AckDecl{Reason: reason}, true
+}
+
+// goIdent reports whether s is a valid Go identifier.
+func goIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if r == '_' || unicode.IsLetter(r) {
+			continue
+		}
+		if i > 0 && unicode.IsDigit(r) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// declDirective is one declaration directive found in a package, with
+// its attachment resolved: a valid guarded-by carries the guard list and
+// the field objects it protects; a valid ack-path carries the reason and
+// the function object it marks. Err is set for malformed or misplaced
+// directives (reported under the "directive" pseudo-check).
+type declDirective struct {
+	File string
+	Line int
+	Err  string
+
+	guards []GuardRef
+	fields []*types.Var
+
+	ack string
+	fn  *types.Func
+}
+
+// collectDeclDirectives parses every declaration directive in the
+// package (memoized): guarded-by comments in the doc or trailing comment
+// of struct fields, ack-path comments in function doc comments, and —
+// so misuse is loud rather than silently inert — any such directive
+// found anywhere else, reported as misplaced.
+func collectDeclDirectives(m *Module, p *Package) []declDirective {
+	if p.declsDone {
+		return p.decls
+	}
+	p.declsDone = true
+	consumed := make(map[*ast.Comment]bool)
+	at := func(c *ast.Comment) declDirective {
+		file, line := m.relFile(c.Pos())
+		return declDirective{File: file, Line: line}
+	}
+	var out []declDirective
+
+	// Attachment pass: struct fields and function declarations.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(node ast.Node) bool {
+			switch nd := node.(type) {
+			case *ast.StructType:
+				if nd.Fields == nil {
+					return true
+				}
+				for _, field := range nd.Fields.List {
+					for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+						if cg == nil {
+							continue
+						}
+						for _, c := range cg.List {
+							g, ok := ParseGuardedBy(c.Text)
+							if !ok {
+								continue
+							}
+							consumed[c] = true
+							d := at(c)
+							if g.Err != "" {
+								d.Err = g.Err
+								out = append(out, d)
+								continue
+							}
+							d.guards = g.Guards
+							for _, name := range field.Names {
+								if v, ok := p.Info.Defs[name].(*types.Var); ok {
+									d.fields = append(d.fields, v)
+								}
+							}
+							if len(d.fields) == 0 {
+								d.Err = "malformed //lint:guarded-by: not attached to a named struct field"
+							}
+							out = append(out, d)
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if nd.Doc == nil {
+					return true
+				}
+				for _, c := range nd.Doc.List {
+					a, ok := parseAckPath(c.Text)
+					if !ok {
+						continue
+					}
+					consumed[c] = true
+					d := at(c)
+					if a.Err != "" {
+						d.Err = a.Err
+						out = append(out, d)
+						continue
+					}
+					d.ack = a.Reason
+					d.fn, _ = p.Info.Defs[nd.Name].(*types.Func)
+					out = append(out, d)
+				}
+			}
+			return true
+		})
+	}
+
+	// Misplacement pass: a declaration directive anywhere else parses
+	// but attaches to nothing, which must be a finding, not a no-op.
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if consumed[c] {
+					continue
+				}
+				if g, ok := ParseGuardedBy(c.Text); ok {
+					d := at(c)
+					d.Err = g.Err
+					if d.Err == "" {
+						d.Err = "misplaced //lint:guarded-by: must be the doc or trailing comment of a struct field"
+					}
+					out = append(out, d)
+					continue
+				}
+				if a, ok := parseAckPath(c.Text); ok {
+					d := at(c)
+					d.Err = a.Err
+					if d.Err == "" {
+						d.Err = "misplaced //lint:ack-path: must be in the doc comment of a function declaration"
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	p.decls = out
+	return out
+}
+
+// fieldGuards returns the declared guard list for a struct field object,
+// or nil when the field carries no (valid) //lint:guarded-by. The
+// defining package is found through the module cache; object identity
+// holds across packages because intra-module imports resolve through the
+// same loader.
+func (m *Module) fieldGuards(v *types.Var) []GuardRef {
+	if v.Pkg() == nil {
+		return nil
+	}
+	rel, ok := m.relOf(v.Pkg().Path())
+	if !ok {
+		return nil
+	}
+	p, ok := m.pkgs[rel]
+	if !ok {
+		return nil
+	}
+	for _, d := range collectDeclDirectives(m, p) {
+		if d.Err != "" {
+			continue
+		}
+		for _, fv := range d.fields {
+			if fv == v {
+				return d.guards
+			}
+		}
+	}
+	return nil
+}
+
+// guardNames renders a guard list for finding messages.
+func guardNames(guards []GuardRef) string {
+	parts := make([]string, len(guards))
+	for i, g := range guards {
+		parts[i] = g.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"strings"
+)
+
+// checkJournalFence enforces the DESIGN.md §13 record-then-ack rule
+// interprocedurally: on an application-write ack/completion path — any
+// function reachable in the call graph from a //lint:ack-path root —
+// journal records must be appended through Journal.AppendIfEpoch, the
+// epoch-fenced variant that refuses to journal across a crash boundary.
+// A direct call to any other append-family method of a type named
+// Journal from such a function is a finding. Journal's own methods are
+// exempt (AppendIfEpoch is *implemented* in terms of the raw appends),
+// as is everything not reachable from an ack root — the lazy-migration
+// copy engine's background appends are legitimate and stay clean.
+func checkJournalFence(m *Module, p *Package) []Finding {
+	g, err := m.graph()
+	if err != nil || g == nil {
+		return nil
+	}
+	var out []Finding
+	for _, n := range g.funcsIn(p) {
+		root, ok := g.ackFrom[n.obj]
+		if !ok || recvTypeName(n.obj) == "Journal" {
+			continue
+		}
+		for _, e := range n.edges {
+			if !journalAppend(e.callee) {
+				continue
+			}
+			file, line := m.relFile(e.pos)
+			rootFile, rootLine := m.relFile(root.obj.Pos())
+			out = append(out, Finding{File: file, Line: line, Check: "journalfence",
+				Message: fmt.Sprintf("%s is reachable from ack path %s (%s:%d) and calls %s directly; app-write completions must journal through AppendIfEpoch (DESIGN.md §13)",
+					funcDisplay(n.obj), funcDisplay(root.obj), rootFile, rootLine, funcDisplay(e.callee))})
+		}
+	}
+	return out
+}
+
+// journalAppend reports whether fn is a raw append-family method of a
+// type named Journal — any method whose name starts with "append"
+// (case-insensitive) except the epoch-fenced AppendIfEpoch.
+func journalAppend(fn *types.Func) bool {
+	if fn.Name() == "AppendIfEpoch" {
+		return false
+	}
+	return recvTypeName(fn) == "Journal" && strings.HasPrefix(strings.ToLower(fn.Name()), "append")
+}

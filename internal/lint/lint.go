@@ -6,7 +6,8 @@
 // type information, so a violation fails CI instead of surfacing as a
 // probabilistic byte-identity diff three PRs later.
 //
-// Five checks (DESIGN.md §10 maps each to the contract clause it guards):
+// Nine checks (DESIGN.md §10 maps each to the contract clause it
+// guards). Five are intraprocedural, inspecting one package at a time:
 //
 //   - walltime: forbids time.Now/Since/Sleep/After (and friends) inside
 //     internal/ simulation packages; simulated artifacts must be stamped
@@ -18,23 +19,45 @@
 //     io.Writer/fmt printer, feeds telemetry, or appends to a slice that
 //     is never sorted afterwards — the map-iteration nondeterminism that
 //     byte-identity tests only catch probabilistically.
+//   - floatorder: flags floating-point accumulation inside a map range —
+//     float addition is not associative, so the sum depends on iteration
+//     order even with no output sink in the loop (the case maporder
+//     cannot see).
 //   - goroutineownership: flags go statements outside internal/runpool
 //     that capture or receive telemetry sinks (telemetry.Registry,
 //     Sampler, Tracer, Series, core.TelemetryScope) — those types are
 //     unsynchronized by design and owned by exactly one goroutine.
 //   - docs: every package carries a package doc comment, and the
 //     contract-critical packages (internal/runpool, internal/lint,
-//     internal/telemetry) document every exported symbol.
+//     internal/telemetry, ...) document every exported symbol.
+//
+// Three are interprocedural, built on a module-wide static call graph
+// (callgraph.go: CHA resolution of interface calls, function-value
+// references counted as edges) or on declaration directives
+// (guard.go):
+//
+//   - walltimereach: flags internal/ functions whose call *transitively*
+//     reaches a wall-clock read through a helper outside internal/
+//     (cmd/, examples/, the root facade) — the laundering path the leaf
+//     walltime check deliberately does not look at.
+//   - indexsync: struct fields annotated //lint:guarded-by <func>[,...]
+//     (storeindex heap keys, quarantine/slot bookkeeping) may only be
+//     written by the declared canonical helpers.
+//   - journalfence: on call paths reachable from a //lint:ack-path
+//     function (application-write ack/completion entry points), journal
+//     records must be appended through Journal.AppendIfEpoch; raw
+//     append-family calls there are findings.
 //
 // A finding can be suppressed with a mandatory-reason directive placed on
 // the offending line or the line above it:
 //
 //	//lint:ignore <check>[,<check>...] <reason>
 //
-// Malformed directives (missing reason, unknown check name) are findings
-// themselves, under the pseudo-check "directive", and cannot be
-// suppressed. The suite is stdlib-only (go/ast, go/parser, go/types with
-// the source importer), matching the module's no-external-deps rule.
+// Malformed directives (missing reason, unknown check name, a malformed
+// or misplaced guarded-by/ack-path declaration) are findings themselves,
+// under the pseudo-check "directive", and cannot be suppressed. The
+// suite is stdlib-only (go/ast, go/parser, go/types with the source
+// importer), matching the module's no-external-deps rule.
 package lint
 
 import (
@@ -73,10 +96,23 @@ var checks = []struct {
 	run  checkFunc
 }{
 	{"walltime", checkWalltime},
+	{"walltimereach", checkWallTimeReach},
 	{"globalrand", checkGlobalRand},
 	{"maporder", checkMapOrder},
+	{"floatorder", checkFloatOrder},
 	{"goroutineownership", checkGoroutineOwnership},
+	{"indexsync", checkIndexSync},
+	{"journalfence", checkJournalFence},
 	{"docs", checkDocs},
+}
+
+// graphChecks names the checks that need the module-wide call graph.
+// Run builds it up front for them (loading every module package) so a
+// graph build error surfaces as an error, not as silently-empty
+// reachability.
+var graphChecks = map[string]bool{
+	"walltimereach": true,
+	"journalfence":  true,
 }
 
 // Checks returns the names of all suppressible checks, in report order.
@@ -120,6 +156,17 @@ func Run(root string, dirs []string, selected []string) ([]Finding, error) {
 		}
 		want[name] = true
 	}
+	needGraph := false
+	for _, c := range checks {
+		if graphChecks[c.name] && (len(want) == 0 || want[c.name]) {
+			needGraph = true
+		}
+	}
+	if needGraph {
+		if _, err := m.graph(); err != nil {
+			return nil, fmt.Errorf("call graph: %w", err)
+		}
+	}
 	var all []Finding
 	for _, dir := range dirs {
 		p, err := m.Load(dir)
@@ -129,8 +176,15 @@ func Run(root string, dirs []string, selected []string) ([]Finding, error) {
 		dirs := collectDirectives(m, p)
 		// Malformed directives are findings in every run, regardless of
 		// which checks were selected: a broken suppression is a lint bug
-		// even when the check it meant to silence is off.
+		// even when the check it meant to silence is off. The same rule
+		// covers malformed or misplaced declaration directives
+		// (//lint:guarded-by, //lint:ack-path).
 		for _, d := range dirs {
+			if d.Err != "" {
+				all = append(all, Finding{File: d.File, Line: d.Line, Check: DirectiveCheck, Message: d.Err})
+			}
+		}
+		for _, d := range collectDeclDirectives(m, p) {
 			if d.Err != "" {
 				all = append(all, Finding{File: d.File, Line: d.Line, Check: DirectiveCheck, Message: d.Err})
 			}

@@ -87,21 +87,26 @@ func TestFixtureChecksAttribution(t *testing.T) {
 	// for the check of the same name (plus directive findings where the
 	// fixture seeds malformed suppressions).
 	wantCheck := map[string]string{
-		"internal/walltime":    "walltime",
-		"internal/randbad":     "globalrand",
-		"internal/maporder":    "maporder",
-		"internal/goroutine":   "goroutineownership",
-		"internal/nodoc":       "docs",
-		"internal/runpool":     "docs",
-		"internal/mgmt/policy": "docs",
-		"internal/mgmt/slo":    "docs",
-		"internal/invariant":   "docs",
-		"internal/chaos":       "docs",
+		"internal/walltime":      "walltime",
+		"internal/wallreach":     "walltimereach",
+		"internal/randbad":       "globalrand",
+		"internal/maporder":      "maporder",
+		"internal/floatorder":    "floatorder",
+		"internal/goroutine":     "goroutineownership",
+		"internal/indexsync":     "indexsync",
+		"internal/journalfence":  "journalfence",
+		"internal/newdirectives": DirectiveCheck,
+		"internal/nodoc":         "docs",
+		"internal/runpool":       "docs",
+		"internal/mgmt/policy":   "docs",
+		"internal/mgmt/slo":      "docs",
+		"internal/invariant":     "docs",
+		"internal/chaos":         "docs",
 	}
 	mustBeClean := map[string]bool{
 		"internal/sim": true, "internal/faultinject": true,
 		"internal/telemetry": true, "internal/core": true,
-		"cmd/clock": true,
+		"cmd/clock": true, "cmd/progress": true, ".": true,
 	}
 	seen := make(map[string]bool)
 	for _, f := range findings {
@@ -122,6 +127,27 @@ func TestFixtureChecksAttribution(t *testing.T) {
 	}
 	if !seen["internal/walltime/"+DirectiveCheck] || !seen["internal/directives/"+DirectiveCheck] {
 		t.Error("expected directive findings from the malformed suppressions in internal/walltime and internal/directives")
+	}
+}
+
+// TestFixtureSuppressionInterplay pins the directive-interplay fixture:
+// internal/newdirectives violates every interprocedural check and
+// suppresses each with //lint:ignore (including one multi-check
+// directive covering indexsync and journalfence on a single line), so
+// only its three seeded malformed/misplaced declaration directives may
+// surface — all under the unsuppressible "directive" pseudo-check.
+func TestFixtureSuppressionInterplay(t *testing.T) {
+	findings, err := Run(fixtureRoot, []string{"internal/newdirectives"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("want exactly 3 directive findings, got %d: %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Check != DirectiveCheck {
+			t.Errorf("suppression failed: %s", f)
+		}
 	}
 }
 

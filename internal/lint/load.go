@@ -35,6 +35,9 @@ type Package struct {
 	Info *types.Info
 	// TypeErrors are the errors the type checker reported, if any.
 	TypeErrors []error
+
+	decls     []declDirective // memoized declaration directives
+	declsDone bool
 }
 
 // Module is a loaded Go module: the parse/type-check state shared by all
@@ -53,6 +56,10 @@ type Module struct {
 	pkgs    map[string]*Package // keyed by Rel
 	loading map[string]bool     // import-cycle guard
 	std     types.ImporterFrom  // source importer for stdlib packages
+
+	cg     *callGraph // memoized module-wide call graph
+	cgErr  error
+	cgDone bool
 }
 
 // LoadModule prepares the module rooted at root (which must contain

@@ -1,0 +1,26 @@
+// Command progress is the interface half of the walltimereach fixtures:
+// Spinner reads the wall clock inside a method, so any internal/ package
+// that calls Tick through an interface transitively reaches time.Now —
+// resolved by the call graph's class-hierarchy analysis, not by any
+// import edge.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+// Spinner prints wall-clock progress; legal in cmd/.
+type Spinner struct {
+	started time.Time
+}
+
+// Tick reports elapsed wall time.
+func (s *Spinner) Tick() {
+	fmt.Printf("%.1fs elapsed\n", time.Since(s.started).Seconds())
+}
+
+func main() {
+	s := &Spinner{started: time.Now()}
+	s.Tick()
+}

@@ -1,0 +1,69 @@
+// Package floatorder seeds floatorder violations: floating-point
+// accumulation inside a map range, in both the compound-assignment and
+// spelled-out forms, next to the accumulations that must stay clean
+// (integers, plain reassignment, the sorted-keys idiom).
+package floatorder
+
+import "sort"
+
+// BadSum accumulates a float in map order: one finding.
+func BadSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// BadProduct compound-multiplies in map order: one finding.
+func BadProduct(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v
+	}
+	return p
+}
+
+// BadSpelledOut uses the x = x + v form: one finding.
+func BadSpelledOut(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v
+	}
+	return total
+}
+
+// GoodIntSum accumulates an integer — associative, clean.
+func GoodIntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// GoodMax reassigns (no accumulation): clean.
+func GoodMax(m map[string]float64) float64 {
+	max := 0.0
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// GoodSorted is the blessed idiom: collect keys, sort, accumulate over
+// the slice — the accumulation is outside any map range.
+func GoodSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}

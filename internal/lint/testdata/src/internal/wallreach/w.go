@@ -1,0 +1,39 @@
+// Package wallreach seeds walltimereach violations: simulation code
+// that never imports package time but reaches the wall clock through
+// helpers outside internal/ — once through a static call into the root
+// facade, once through an interface call resolved by CHA to a cmd/
+// implementation.
+package wallreach
+
+import "fixture"
+
+// Ticker is a progress callback the simulation accepts from its driver.
+// The only module implementation (cmd/progress.Spinner) reads the wall
+// clock.
+type Ticker interface {
+	Tick()
+}
+
+// Drive advances the simulation and reports progress: the injected
+// ticker's Tick transitively reads time.Now, so the call is a
+// walltimereach finding even though this package is time-free.
+func Drive(t Ticker, steps int) int {
+	n := 0
+	for i := 0; i < steps; i++ {
+		n += i
+		t.Tick()
+	}
+	return n
+}
+
+// Stamp launders a wall-clock read through the root facade: a static
+// crossing edge, one finding.
+func Stamp() float64 {
+	return fixture.WallElapsed()
+}
+
+// Scale calls a wall-clock-free facade helper: crossing the internal/
+// boundary alone is not a finding.
+func Scale(n int) int {
+	return fixture.Pure(n)
+}

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// checkWallTimeReach is the interprocedural upgrade of walltime: it
+// catches internal/ simulation code that launders a wall-clock read
+// through a helper *outside* internal/ (cmd/, examples/, or the root
+// facade), where the leaf walltime check deliberately does not look.
+// The check flags exactly the crossing edge — a call from an internal/
+// function to a non-internal module function whose call cone reaches
+// time.Now and friends — so each escape is reported once, at the call
+// that leaves the contract's jurisdiction, with the concrete witness
+// read in the message. Internal-to-internal chains are left to the leaf
+// check, which already flags the read itself.
+func checkWallTimeReach(m *Module, p *Package) []Finding {
+	if !strings.HasPrefix(p.Rel, "internal/") {
+		return nil
+	}
+	g, err := m.graph()
+	if err != nil || g == nil {
+		return nil
+	}
+	var out []Finding
+	for _, n := range g.funcsIn(p) {
+		for _, e := range n.edges {
+			cn := g.nodes[e.callee]
+			if cn == nil || strings.HasPrefix(cn.pkg.Rel, "internal/") {
+				continue
+			}
+			w, ok := g.wallFrom[e.callee]
+			if !ok {
+				continue
+			}
+			where := cn.pkg.Rel
+			if where == "." {
+				where = "module root"
+			}
+			file, line := m.relFile(e.pos)
+			out = append(out, Finding{File: file, Line: line, Check: "walltimereach",
+				Message: fmt.Sprintf("%s calls %s (%s), which transitively reads the wall clock (%s at %s:%d); simulated paths must stamp with sim.Time (DESIGN.md §9)",
+					funcDisplay(n.obj), funcDisplay(e.callee), where, w.name, w.file, w.line)})
+		}
+	}
+	return out
+}

@@ -20,14 +20,15 @@ type Datastore struct {
 	Node int // owning server node (0 in single-node setups)
 
 	vmdks      map[int]*VMDK
-	nextOffset int64
-	allocated  int64
+	nextOffset int64 //lint:guarded-by Datastore.allocExtent
+	allocated  int64 //lint:guarded-by Datastore.allocExtent,Datastore.releaseExtent
 
 	// Incremental-management bookkeeping (DESIGN.md §14). slot is the
 	// store's dense index in its manager's store list; onDirty (set by
 	// NewManager) marks the store for the next epoch's worklist; touched
 	// lists the VMDKs with nonzero window counters so window resets and
 	// candidate selection cost O(activity), not O(resident VMDKs).
+	//lint:guarded-by Manager.initIncremental
 	slot    int
 	onDirty func()
 	touched []*VMDK
@@ -35,7 +36,10 @@ type Datastore struct {
 	// Quarantine state (failure-aware management): a quarantined store is
 	// excluded from placement and migration-candidate selection, and its
 	// VMDKs are evacuated. cleanWindows counts consecutive error-free
-	// epochs toward probation release.
+	// epochs toward probation release. The storeindex heaps key on
+	// quarantine membership, so the write must go through the helper
+	// that reindexes.
+	//lint:guarded-by Manager.setQuarantined
 	quarantined   bool
 	quarantinedAt sim.Time
 	cleanWindows  int

@@ -154,6 +154,8 @@ func (v *VMDK) markUnmigrated(b int64) {
 // currently holding its blocks. Requests spanning the migration frontier
 // split at block granularity; for simplicity a spanning request routes by
 // its first block (requests are block-aligned in all provided workloads).
+//
+//lint:ack-path application-write completions ack to the workload; DESIGN.md §13 record-then-ack requires the epoch fence
 func (v *VMDK) Submit(r *trace.IORequest, done device.Completion) {
 	if v.windowRequests == 0 {
 		// First activity this window: join the primary store's touched
