@@ -54,7 +54,7 @@ func runScheduling(pol memsched.Policy) float64 {
 	var wstream func()
 	wstream = func() {
 		n.Submit(&trace.IORequest{Op: trace.OpWrite, Offset: off, Size: 64 << 10, Class: migClass},
-			func(*trace.IORequest) { eng.Schedule(2*sim.Millisecond, wstream) })
+			func(*trace.IORequest) { eng.After(2*sim.Millisecond, wstream) })
 		off += 64 << 10
 	}
 	wstream()
@@ -63,7 +63,7 @@ func runScheduling(pol memsched.Policy) float64 {
 	var rstream func()
 	rstream = func() {
 		n.Submit(&trace.IORequest{Op: trace.OpRead, Offset: roff, Size: 64 << 10, Class: migClass},
-			func(*trace.IORequest) { eng.Schedule(100*sim.Microsecond, rstream) })
+			func(*trace.IORequest) { eng.After(100*sim.Microsecond, rstream) })
 		roff += 64 << 10
 	}
 	rstream()

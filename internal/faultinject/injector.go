@@ -183,6 +183,9 @@ type Injector struct {
 	links map[[2]int]*linkFaults
 	nodes map[int]*nodeFaults
 	armed bool
+	// crashTimers holds the armed crash handles so Disarm can cancel
+	// crashes that have not fired yet.
+	crashTimers []*sim.Timer
 }
 
 // seedSalt decorrelates the injector stream from the run seed itself.
@@ -339,24 +342,35 @@ func (in *Injector) Arm(onCrash func(Crash)) {
 		if f.crashAt == 0 {
 			continue
 		}
-		in.eng.At(f.crashAt, func() {
+		in.crashTimers = append(in.crashTimers, in.eng.AtTimer(f.crashAt, func() {
 			f.gen++
 			f.stats.Crashes++
 			if onCrash != nil {
 				onCrash(Crash{At: f.crashAt, Node: f.node, Device: f.clause.Device})
 			}
-		})
+		}))
 	}
 	for _, c := range in.spec.Nodes {
 		nf := in.nodes[c.Node]
-		in.eng.At(nf.crashAt, func() {
+		in.crashTimers = append(in.crashTimers, in.eng.AtTimer(nf.crashAt, func() {
 			nf.gen++
 			nf.stats.Crashes++
 			if onCrash != nil {
 				onCrash(Crash{At: nf.crashAt, Node: nf.clause.Node})
 			}
-		})
+		}))
 	}
+}
+
+// Disarm cancels every crash that has not fired yet. Crashes that
+// already happened stay happened; latency and error clauses are
+// unaffected. A later Arm is still a no-op — disarming does not reset
+// the armed latch.
+func (in *Injector) Disarm() {
+	for _, t := range in.crashTimers {
+		t.Stop()
+	}
+	in.crashTimers = nil
 }
 
 // WrapNetwork interposes the injector on cross-node transfers; with no link

@@ -7,16 +7,21 @@ import (
 	"strings"
 )
 
-// sinkTypes are the unsynchronized-by-design telemetry types that must be
-// owned by exactly one goroutine at a time (the ownership clause of
-// DESIGN.md §9). Matched by (package-path tail, type name) so fixture
-// modules exercise the rule with their own telemetry/core packages.
+// sinkTypes are the unsynchronized-by-design types that must be owned by
+// exactly one goroutine at a time (the ownership clause of DESIGN.md §9):
+// the telemetry sinks, and the event engine itself — sim.Engine takes no
+// locks, and a sim.Timer handle mutates engine state through Stop/Reset,
+// so handing either to a spawned goroutine races the event loop. Matched
+// by (package-path tail, type name) so fixture modules exercise the rule
+// with their own telemetry/core/sim packages.
 var sinkTypes = map[[2]string]bool{
 	{"telemetry", "Registry"}:  true,
 	{"telemetry", "Sampler"}:   true,
 	{"telemetry", "Tracer"}:    true,
 	{"telemetry", "Series"}:    true,
 	{"core", "TelemetryScope"}: true,
+	{"sim", "Engine"}:          true,
+	{"sim", "Timer"}:           true,
 }
 
 // checkGoroutineOwnership enforces the ownership clause of DESIGN.md §9
@@ -58,7 +63,7 @@ func goStmtSinks(m *Module, p *Package, g *ast.GoStmt) []Finding {
 		seen[key] = true
 		file, line := m.relFile(pos.Pos())
 		out = append(out, Finding{File: file, Line: line, Check: "goroutineownership",
-			Message: fmt.Sprintf("goroutine %s %s (%s), an unsynchronized telemetry sink owned by one goroutine; hand whole jobs to internal/runpool instead (DESIGN.md §9)", how, name, t)})
+			Message: fmt.Sprintf("goroutine %s %s (%s), an unsynchronized single-owner type; hand whole jobs to internal/runpool instead (DESIGN.md §9)", how, name, t)})
 	}
 	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
 		ast.Inspect(lit.Body, func(n ast.Node) bool {

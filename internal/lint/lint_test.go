@@ -84,24 +84,27 @@ func TestFixtureChecksAttribution(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Fixture layout rule: package internal/<name> seeds findings only
-	// for the check of the same name (plus directive findings where the
-	// fixture seeds malformed suppressions).
-	wantCheck := map[string]string{
-		"internal/walltime":      "walltime",
-		"internal/wallreach":     "walltimereach",
-		"internal/randbad":       "globalrand",
-		"internal/maporder":      "maporder",
-		"internal/floatorder":    "floatorder",
-		"internal/goroutine":     "goroutineownership",
-		"internal/indexsync":     "indexsync",
-		"internal/journalfence":  "journalfence",
-		"internal/newdirectives": DirectiveCheck,
-		"internal/nodoc":         "docs",
-		"internal/runpool":       "docs",
-		"internal/mgmt/policy":   "docs",
-		"internal/mgmt/slo":      "docs",
-		"internal/invariant":     "docs",
-		"internal/chaos":         "docs",
+	// for the checks it is named for (plus directive findings where the
+	// fixture seeds malformed suppressions). Most dirs exercise one
+	// check; internal/timerapi deliberately seeds two — engine-sink
+	// ownership violations and a missing package doc.
+	wantCheck := map[string][]string{
+		"internal/walltime":      {"walltime"},
+		"internal/wallreach":     {"walltimereach"},
+		"internal/randbad":       {"globalrand"},
+		"internal/maporder":      {"maporder"},
+		"internal/floatorder":    {"floatorder"},
+		"internal/goroutine":     {"goroutineownership"},
+		"internal/timerapi":      {"goroutineownership", "docs"},
+		"internal/indexsync":     {"indexsync"},
+		"internal/journalfence":  {"journalfence"},
+		"internal/newdirectives": {DirectiveCheck},
+		"internal/nodoc":         {"docs"},
+		"internal/runpool":       {"docs"},
+		"internal/mgmt/policy":   {"docs"},
+		"internal/mgmt/slo":      {"docs"},
+		"internal/invariant":     {"docs"},
+		"internal/chaos":         {"docs"},
 	}
 	mustBeClean := map[string]bool{
 		"internal/sim": true, "internal/faultinject": true,
@@ -116,13 +119,24 @@ func TestFixtureChecksAttribution(t *testing.T) {
 			t.Errorf("%s must be clean, got %s", d, f)
 			continue
 		}
-		if want, ok := wantCheck[d]; ok && f.Check != want && f.Check != DirectiveCheck {
-			t.Errorf("%s: finding attributed to %q, fixture seeds only %q: %s", d, f.Check, want, f)
+		if want, ok := wantCheck[d]; ok && f.Check != DirectiveCheck {
+			allowed := false
+			for _, w := range want {
+				if f.Check == w {
+					allowed = true
+					break
+				}
+			}
+			if !allowed {
+				t.Errorf("%s: finding attributed to %q, fixture seeds only %v: %s", d, f.Check, want, f)
+			}
 		}
 	}
 	for d, want := range wantCheck {
-		if !seen[d+"/"+want] {
-			t.Errorf("%s: expected at least one %q finding, got none", d, want)
+		for _, w := range want {
+			if !seen[d+"/"+w] {
+				t.Errorf("%s: expected at least one %q finding, got none", d, w)
+			}
 		}
 	}
 	if !seen["internal/walltime/"+DirectiveCheck] || !seen["internal/directives/"+DirectiveCheck] {

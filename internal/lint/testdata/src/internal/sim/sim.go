@@ -8,3 +8,18 @@ import "math/rand"
 func NewSeeded(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
+
+// Engine is the fixture stand-in for the single-threaded event engine:
+// a sink type for the goroutineownership check, matched by package tail
+// and name like the telemetry sinks.
+type Engine struct{ now int64 }
+
+// Stop halts the run loop.
+func (e *Engine) Stop() { e.now = -1 }
+
+// Timer is the fixture stand-in for a cancellable timer handle; its
+// Stop/Reset mutate engine state, so it is single-owner too.
+type Timer struct{ eng *Engine }
+
+// Stop cancels the pending fire.
+func (t *Timer) Stop() bool { return t.eng != nil }

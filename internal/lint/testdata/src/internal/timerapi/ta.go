@@ -1,0 +1,55 @@
+package timerapi
+
+// This fixture deliberately omits the package doc comment (one docs
+// finding) and seeds goroutineownership violations against the engine
+// sink types: goroutines capturing a live *sim.Engine or receiving a
+// *sim.Timer handle outside internal/runpool.
+
+import "fixture/internal/sim"
+
+// BadEngineCapture closes over a live engine: one finding. Stopping an
+// engine from another goroutine races the event loop.
+func BadEngineCapture(e *sim.Engine, done chan struct{}) {
+	go func() {
+		e.Stop()
+		close(done)
+	}()
+}
+
+// BadTimerArg hands a timer handle to a goroutine by argument: one
+// finding. Stop/Reset mutate engine state without synchronization.
+func BadTimerArg(t *sim.Timer, done chan struct{}) {
+	go func(tm *sim.Timer, d chan struct{}) {
+		tm.Stop()
+		close(d)
+	}(t, done)
+}
+
+// BadTimerSlice captures a slice of handles (a container of sinks): one
+// finding.
+func BadTimerSlice(timers []*sim.Timer, done chan struct{}) {
+	go func() {
+		_ = timers[0]
+		close(done)
+	}()
+}
+
+// SuppressedEngineCapture shows the escape hatch: the violation is
+// acknowledged in place, so no finding surfaces.
+func SuppressedEngineCapture(e *sim.Engine, done chan struct{}) {
+	go func() {
+		//lint:ignore goroutineownership fixture: deliberate suppressed engine capture
+		e.Stop()
+		close(done)
+	}()
+}
+
+// GoodLocalEngine builds its own engine inside the goroutine, which
+// therefore owns it: no finding.
+func GoodLocalEngine(done chan struct{}) {
+	go func() {
+		var e sim.Engine
+		e.Stop()
+		close(done)
+	}()
+}

@@ -169,6 +169,7 @@ type Manager struct {
 	history      map[int][]string // VMDK id → past store names (ping-pong detection)
 	stats        Stats
 	running      bool
+	epochTimer   *sim.Timer
 	network      Network
 	log          DecisionLog
 	tr           *telemetry.Tracer
@@ -399,17 +400,23 @@ func (m *Manager) ResumeMigration(vmdkID int) bool {
 	return false
 }
 
-// Start begins the periodic management loop.
+// Start arms the periodic management-epoch timer.
 func (m *Manager) Start() {
 	if m.running {
 		return
 	}
 	m.running = true
-	m.eng.Schedule(m.cfg.Window, m.epoch)
+	m.epochTimer = m.eng.Every(m.cfg.Window, m.epoch)
 }
 
-// Stop halts the loop after the current epoch.
-func (m *Manager) Stop() { m.running = false }
+// Stop cancels the epoch timer; in-flight migrations keep draining.
+func (m *Manager) Stop() {
+	if !m.running {
+		return
+	}
+	m.running = false
+	m.epochTimer.Stop()
+}
 
 // epoch runs one management round through the pipeline: the observe
 // stage builds the per-store performance vector, the plan stage turns it
@@ -417,9 +424,6 @@ func (m *Manager) Stop() { m.running = false }
 // decisions feed — runs continuously in between epochs, so its instant
 // here is a per-epoch snapshot rather than a discrete step.
 func (m *Manager) epoch() {
-	if !m.running {
-		return
-	}
 	m.stats.Epochs++
 
 	perfs := m.scheme.Observer.Observe(m)
@@ -460,7 +464,6 @@ func (m *Manager) epoch() {
 		m.resetDirtyWindows()
 	}
 	m.checkInvariants("epoch")
-	m.eng.Schedule(m.cfg.Window, m.epoch)
 }
 
 // balancingMigrations counts active non-evacuation migrations (the

@@ -364,7 +364,7 @@ func (g *Migration) attemptAbortChunk(blocks []int64, attempt int) {
 	n := int64(len(blocks))
 	retry := func(stage string, err error) {
 		g.mgr.stats.CopyRetries++
-		g.mgr.eng.Schedule(g.backoff(attempt), func() {
+		g.mgr.eng.After(g.backoff(attempt), func() {
 			g.attemptAbortChunk(blocks, attempt+1)
 		})
 	}

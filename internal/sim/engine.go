@@ -6,10 +6,16 @@
 // callbacks on a single Engine; execution is strictly deterministic for a
 // given seed and schedule order, which makes every experiment in the paper
 // reproduction replayable bit-for-bit.
+//
+// The queue is a hierarchical timer wheel with an overflow tier and pooled
+// event objects (wheel.go), so the steady-state hot path allocates nothing
+// and insert/cancel are O(1). On top of the raw Schedule/At callbacks,
+// timer.go provides first-class cancellable and periodic timers
+// (After/AtTimer/Every/EveryAt returning a Timer handle) that replace the
+// hand-rolled closure-captured cancellation flags the models used to carry.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -45,39 +51,11 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Micros returns the time as floating-point microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
-// event is a scheduled callback.
-type event struct {
-	at  Time
-	seq uint64 // tie-break so equal-time events run in scheduling order
-	fn  func()
-}
-
-// eventQueue implements heap.Interface over events.
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
-
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	wheel   wheel
 	seq     uint64
 	stopped bool
 	// processed counts executed events, exposed for instrumentation.
@@ -103,19 +81,31 @@ type Engine struct {
 type EngineProfile struct {
 	// Events is the number of events dispatched since profiling was enabled.
 	Events uint64
-	// HeapPushes counts event-queue insertions (one per At/Schedule call).
+	// HeapPushes counts event-queue insertions (one per At/Schedule call or
+	// timer arm, including periodic re-arms).
 	HeapPushes uint64
 	// HeapPops counts event-queue removals (one per dispatched event).
 	HeapPops uint64
 	// MaxDepth is the high-water mark of simultaneously pending events —
-	// the timer depth the queue's O(log n) operations actually paid for.
+	// the timer depth the queue actually had to organize.
 	MaxDepth int
+	// Cascades counts live entries redistributed from a higher wheel level
+	// to a lower one while the dispatch cursor advanced (the deferred part
+	// of the wheel's O(1) insert).
+	Cascades uint64
+	// OverflowPromotions counts entries that entered beyond the wheel
+	// horizon and were later promoted from the overflow tier into the wheel.
+	OverflowPromotions uint64
 }
 
 // EnableProfiling arms the self-profiling counters. Counters start from
 // zero at the call; re-enabling resets them. Profiling is off by default
 // and costs the hot path a single pointer nil check when off.
-func (e *Engine) EnableProfiling() { e.prof = &EngineProfile{} }
+func (e *Engine) EnableProfiling() {
+	e.prof = &EngineProfile{}
+	e.wheel.cascades = 0
+	e.wheel.promotions = 0
+}
 
 // ProfilingEnabled reports whether self-profiling counters are armed.
 func (e *Engine) ProfilingEnabled() bool { return e.prof != nil }
@@ -126,13 +116,19 @@ func (e *Engine) Profile() EngineProfile {
 	if e.prof == nil {
 		return EngineProfile{}
 	}
-	return *e.prof
+	p := *e.prof
+	p.Cascades = e.wheel.cascades
+	p.OverflowPromotions = e.wheel.promotions
+	return p
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
 	e := &Engine{}
-	heap.Init(&e.queue)
+	// Pre-size the dispatch buffer so same-tick batches don't grow the
+	// slice mid-run: the hot path stays allocation-free even when a
+	// larger coincidence batch shows up long after start-up.
+	e.wheel.buf = make([]*timer, 0, 128)
 	return e
 }
 
@@ -142,8 +138,9 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live events waiting in the queue
+// (cancelled timers stop counting the moment Stop succeeds).
+func (e *Engine) Pending() int { return e.wheel.pending }
 
 // Schedule runs fn after delay simulated nanoseconds. A negative delay is
 // treated as zero (run at the current time, after already-queued events at
@@ -159,14 +156,25 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 // model; it is clamped to now so simulations degrade loudly in latency
 // rather than corrupting the clock.
 func (e *Engine) At(t Time, fn func()) {
+	tm := e.wheel.get()
+	tm.fn = fn
+	e.arm(tm, t)
+}
+
+// arm assigns the next insertion sequence number to tm and links it into
+// the queue at absolute time t (past times clamp to now). Shared by At and
+// the Timer API so ties always break in global scheduling order.
+func (e *Engine) arm(tm *timer, t Time) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	tm.at = t
+	tm.seq = e.seq
+	e.wheel.insert(tm)
 	if e.prof != nil {
 		e.prof.HeapPushes++
-		if d := len(e.queue); d > e.prof.MaxDepth {
+		if d := e.wheel.pending; d > e.prof.MaxDepth {
 			e.prof.MaxDepth = d
 		}
 	}
@@ -175,17 +183,31 @@ func (e *Engine) At(t Time, fn func()) {
 // Step executes the single earliest event. It reports false when the queue
 // is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	tm := e.wheel.popMin()
+	if tm == nil {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
 	if e.prof != nil {
 		e.prof.HeapPops++
 		e.prof.Events++
 	}
-	e.now = ev.at
+	tm.state = tmRunning
+	e.now = tm.at
 	e.processed++
-	ev.fn()
+	tm.fn()
+	// The callback may have cancelled or re-armed its own timer (state no
+	// longer tmRunning); only an undisturbed periodic timer re-arms here,
+	// consuming a fresh sequence number exactly like a callback that
+	// re-schedules itself as its last statement.
+	if tm.state == tmRunning {
+		if tm.period > 0 {
+			e.arm(tm, e.now+tm.period)
+		} else {
+			e.wheel.recycle(tm)
+		}
+	} else if tm.state == tmDead {
+		e.wheel.recycle(tm)
+	}
 	return true
 }
 
@@ -221,8 +243,10 @@ func (e *Engine) checkBudget() error {
 	}
 	if e.budgetEvents > 0 && e.processed >= e.budgetEvents {
 		e.budgetErr = fmt.Errorf("sim: watchdog: event budget exhausted (%d events executed, clock at %v)", e.processed, e.now)
-	} else if e.budgetDeadline > 0 && len(e.queue) > 0 && e.queue[0].at > e.budgetDeadline {
-		e.budgetErr = fmt.Errorf("sim: watchdog: sim-time budget exhausted (next event at %v, deadline %v)", e.queue[0].at, e.budgetDeadline)
+	} else if e.budgetDeadline > 0 {
+		if at, ok := e.wheel.peek(); ok && at > e.budgetDeadline {
+			e.budgetErr = fmt.Errorf("sim: watchdog: sim-time budget exhausted (next event at %v, deadline %v)", at, e.budgetDeadline)
+		}
 	}
 	return e.budgetErr
 }
@@ -242,18 +266,26 @@ func (e *Engine) Run() error {
 	return nil
 }
 
-// RunUntil executes events with timestamps <= t, then advances the clock to
-// t (if the clock has not already passed it). It returns a non-nil error
-// only when a SetBudget watchdog limit is exceeded.
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to t (if the clock has not already passed it). A run halted by Stop
+// leaves the clock at the last dispatched event instead of advancing it to
+// t: the simulation was interrupted mid-window, and jumping the clock
+// forward would silently skip the rest of the window. It returns a non-nil
+// error only when a SetBudget watchdog limit is exceeded (that exit also
+// leaves the clock where the last event put it).
 func (e *Engine) RunUntil(t Time) error {
 	e.stopped = false
-	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= t {
+	for !e.stopped {
+		at, ok := e.wheel.peek()
+		if !ok || at > t {
+			break
+		}
 		if err := e.checkBudget(); err != nil {
 			return err
 		}
 		e.Step()
 	}
-	if e.now < t {
+	if !e.stopped && e.now < t {
 		e.now = t
 	}
 	return nil

@@ -114,6 +114,7 @@ type Sampler struct {
 	interval sim.Time
 	out      *Series
 	running  bool
+	timer    *sim.Timer
 }
 
 // NewSampler builds a sampler writing rows into out. It panics on a
@@ -131,26 +132,27 @@ func NewSampler(eng *sim.Engine, reg *Registry, interval sim.Time, out *Series) 
 // Series returns the row sink.
 func (s *Sampler) Series() *Series { return s.out }
 
-// Start schedules the first tick at the next multiple of the interval.
-// Restarting a running sampler is a no-op.
+// Start arms a periodic timer whose first tick lands on the next
+// multiple of the interval. Restarting a running sampler is a no-op.
 func (s *Sampler) Start() {
 	if s.running {
 		return
 	}
 	s.running = true
-	next := (s.eng.Now()/s.interval + 1) * s.interval
-	s.eng.At(next, func() { s.tick(next) })
+	first := (s.eng.Now()/s.interval + 1) * s.interval
+	s.timer = s.eng.EveryAt(first, s.interval, s.tick)
 }
 
-// Stop halts sampling after the current tick.
-func (s *Sampler) Stop() { s.running = false }
-
-// tick snapshots the registry and reschedules.
-func (s *Sampler) tick(at sim.Time) {
+// Stop cancels the periodic timer; no further ticks run.
+func (s *Sampler) Stop() {
 	if !s.running {
 		return
 	}
-	s.out.Append(Row{At: at, Points: s.reg.Snapshot()})
-	next := at + s.interval
-	s.eng.At(next, func() { s.tick(next) })
+	s.running = false
+	s.timer.Stop()
+}
+
+// tick snapshots the registry; the engine re-arms the periodic timer.
+func (s *Sampler) tick() {
+	s.out.Append(Row{At: s.eng.Now(), Points: s.reg.Snapshot()})
 }

@@ -249,6 +249,7 @@ type TailTracker struct {
 	life     map[string]*TailHist // lifetime, for end-of-run summaries
 	vmdkKeys map[int]string       // interned "vmdk<id>" strings
 	running  bool
+	timer    *sim.Timer
 
 	// OnWindow, when set, observes every flushed window (keys in sorted
 	// order) before the window histograms reset — the hook the SLO
@@ -314,36 +315,27 @@ func (t *TailTracker) hist(m map[string]*TailHist, key string) *TailHist {
 	return h
 }
 
-// Start schedules window flushes on the engine. Flushes align to
-// interval multiples like the gauge Sampler, so windows land at
-// identical instants whatever the start time. No-op if nil or running.
+// Start arms a periodic flush timer. Flushes align to interval
+// multiples like the gauge Sampler, so windows land at identical
+// instants whatever the start time. No-op if nil or running.
 func (t *TailTracker) Start() {
 	if t == nil || t.running {
 		return
 	}
 	t.running = true
-	t.schedule()
+	first := (t.eng.Now()/t.interval + 1) * t.interval
+	t.timer = t.eng.EveryAt(first, t.interval, func() { t.flush(t.eng.Now()) })
 }
 
-// Stop flushes the current (partial) window and ceases flushing.
+// Stop cancels the flush timer and flushes the current (partial)
+// window.
 func (t *TailTracker) Stop() {
 	if t == nil || !t.running {
 		return
 	}
 	t.running = false
+	t.timer.Stop()
 	t.flush(t.eng.Now())
-}
-
-// schedule arms the next flush at the next interval multiple.
-func (t *TailTracker) schedule() {
-	next := (t.eng.Now()/t.interval + 1) * t.interval
-	t.eng.At(next, func() {
-		if !t.running {
-			return
-		}
-		t.flush(next)
-		t.schedule()
-	})
 }
 
 // flush emits one TailRow per key with observations this window (keys in

@@ -23,6 +23,7 @@ type MemGen struct {
 	Scale float64
 
 	running     bool
+	next        *sim.Timer // pending tick; Stop cancels it
 	issued      uint64
 	addr        uint64
 	outstanding int
@@ -78,10 +79,16 @@ func (g *MemGen) Start() {
 	g.tick()
 }
 
-// Stop ceases generation.
-func (g *MemGen) Stop() { g.running = false }
+// Stop ceases generation and cancels the pending tick.
+func (g *MemGen) Stop() {
+	g.running = false
+	if g.next != nil {
+		g.next.Stop()
+		g.next = nil
+	}
+}
 
-// tick issues one aggregated burst and schedules the next.
+// tick issues one aggregated burst and arms the next via a timer.
 func (g *MemGen) tick() {
 	if !g.running {
 		return
@@ -95,7 +102,7 @@ func (g *MemGen) tick() {
 	rate := g.profile.AccessesPerSecond(g.Scale) * g.phaseFactor(now)
 	if rate <= 0 {
 		// Idle phase: re-check at the next phase boundary.
-		g.eng.Schedule(g.profile.PhasePeriod/8+sim.Microsecond, g.tick)
+		g.next = g.eng.After(g.profile.PhasePeriod/8+sim.Microsecond, g.tick)
 		return
 	}
 	// Inter-burst gap so that Aggregation cachelines per burst hits the
@@ -126,5 +133,5 @@ func (g *MemGen) tick() {
 			g.tick()
 		}
 	})
-	g.eng.Schedule(gap, g.tick)
+	g.next = g.eng.After(gap, g.tick)
 }

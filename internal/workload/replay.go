@@ -20,6 +20,7 @@ type Replayer struct {
 	completed uint64
 	latency   sim.Time
 	inFlight  int
+	timers    []*sim.Timer // one per scheduled entry; Stop cancels the rest
 }
 
 // NewReplayer builds a replayer over the entries (sorted by issue time if
@@ -33,16 +34,29 @@ func NewReplayer(eng *sim.Engine, entries []trace.Entry, target Target, id int) 
 // Len returns the number of entries to replay.
 func (r *Replayer) Len() int { return len(r.entries) }
 
-// Start schedules every entry relative to the current simulated time.
+// Start arms one timer per entry, each at its recorded offset relative
+// to the current simulated time. The handles are kept so Stop can
+// cancel the tail of an in-progress replay.
 func (r *Replayer) Start() {
 	if len(r.entries) == 0 {
 		return
 	}
 	base := r.entries[0].Issue
+	now := r.eng.Now()
+	r.timers = make([]*sim.Timer, len(r.entries))
 	for i := range r.entries {
 		e := r.entries[i]
-		r.eng.Schedule(e.Issue-base, func() { r.issueOne(e) })
+		r.timers[i] = r.eng.AtTimer(now+(e.Issue-base), func() { r.issueOne(e) })
 	}
+}
+
+// Stop cancels every not-yet-issued entry; in-flight requests drain
+// naturally. Issue counters keep their current values.
+func (r *Replayer) Stop() {
+	for _, t := range r.timers {
+		t.Stop()
+	}
+	r.timers = nil
 }
 
 func (r *Replayer) issueOne(e trace.Entry) {

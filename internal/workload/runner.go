@@ -33,6 +33,7 @@ type Runner struct {
 
 	running   bool
 	inFlight  int
+	think     []*sim.Timer // pending think-time refills; Stop cancels them
 	nextID    uint64
 	seqRead   int64 // next sequential read offset
 	seqWrite  int64 // next sequential write offset
@@ -79,8 +80,15 @@ func (r *Runner) Start() {
 	}
 }
 
-// Stop ceases new issues; in-flight requests drain naturally.
-func (r *Runner) Stop() { r.running = false }
+// Stop ceases new issues and cancels pending think-time refills;
+// in-flight requests drain naturally.
+func (r *Runner) Stop() {
+	r.running = false
+	for _, t := range r.think {
+		t.Stop()
+	}
+	r.think = r.think[:0]
+}
 
 // Issued returns the number of requests issued.
 func (r *Runner) Issued() uint64 { return r.issued }
@@ -217,11 +225,15 @@ func (r *Runner) issueOne() {
 			return
 		}
 		if r.profile.ThinkTime > 0 {
-			r.eng.Schedule(r.profile.ThinkTime, func() {
-				if r.running {
-					r.issueOne()
+			// Drop fired handles before tracking a new one so the slice
+			// stays bounded by the outstanding-IO depth.
+			live := r.think[:0]
+			for _, t := range r.think {
+				if t.Active() {
+					live = append(live, t)
 				}
-			})
+			}
+			r.think = append(live, r.eng.After(r.profile.ThinkTime, r.issueOne))
 		} else {
 			r.issueOne()
 		}
