@@ -45,8 +45,8 @@ func (w wheelEngine) pending() int                    { return w.e.Pending() }
 
 type wheelHandle struct{ t *Timer }
 
-func (h wheelHandle) stop() bool         { return h.t.Stop() }
-func (h wheelHandle) reset(d Time) bool  { return h.t.Reset(d) }
+func (h wheelHandle) stop() bool        { return h.t.Stop() }
+func (h wheelHandle) reset(d Time) bool { return h.t.Reset(d) }
 
 // --- reference side: the old global binary heap, verbatim ordering ---
 

@@ -316,6 +316,81 @@ func TestRunUntilStoppedDoesNotAdvanceClock(t *testing.T) {
 	}
 }
 
+// Regression: draining the queue through Run when every remaining entry
+// was cancelled must not leave the dispatch cursor ahead of the engine
+// clock. fillBuf used to advance the cursor onto the cancelled entry's
+// slot before discovering the wheel was empty; inserts between the clock
+// and that stale cursor then sat at a negative tick delta, which the
+// rotated occupancy scan read as nearly a full rotation in the future —
+// events dispatched out of (time, seq) order and the clock ran backwards.
+// Each case drains through a different wheel path: direct level-0
+// extraction, higher-level cascade, and overflow pruning.
+func TestWheelCursorResyncAfterCancelOnlyDrain(t *testing.T) {
+	cases := []struct {
+		name  string
+		delay Time // delay of the timer cancelled before the drain
+	}{
+		{"level0", 10 * Microsecond},
+		{"cascade", 1 << 20},  // levels >= 1: drained by cascading, not extraction
+		{"overflow", 1 << 51}, // beyond the wheel horizon
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := NewEngine()
+			eng.After(tc.delay, func() { t.Error("cancelled timer fired") }).Stop()
+			if err := eng.Run(); err != nil { // cancel-only drain
+				t.Fatal(err)
+			}
+			if eng.Now() != 0 {
+				t.Fatalf("clock at %v after cancel-only drain, want 0", eng.Now())
+			}
+			// Straddle the cancelled timer's tick: one event well before it,
+			// one after. With a stale cursor the earlier event dispatched
+			// second and the clock moved backwards.
+			var fires []Time
+			rec := func() { fires = append(fires, eng.Now()) }
+			early, late := tc.delay/10+1, tc.delay+1600
+			eng.Schedule(early, rec)
+			eng.Schedule(late, rec)
+			if err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if len(fires) != 2 || fires[0] != early || fires[1] != late {
+				t.Fatalf("dispatch times = %v, want monotonic [%v %v]", fires, early, late)
+			}
+			if eng.Now() != late {
+				t.Fatalf("clock at %v, want %v", eng.Now(), late)
+			}
+		})
+	}
+}
+
+// The same stale-cursor hazard with the cancellation issued mid-run: a
+// dispatched event stops the only remaining timer, so the queue drains
+// with the clock at the stopping event while fillBuf scans across the
+// cancelled entry's slot.
+func TestWheelCursorResyncAfterMidRunCancelDrain(t *testing.T) {
+	eng := NewEngine()
+	victim := eng.After(10*Microsecond, func() { t.Error("cancelled timer fired") })
+	eng.Schedule(5, func() { victim.Stop() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() != 5 {
+		t.Fatalf("clock at %v after drain, want 5", eng.Now())
+	}
+	var fires []Time
+	rec := func() { fires = append(fires, eng.Now()) }
+	eng.Schedule(1*Microsecond, rec) // behind the victim's tick
+	eng.Schedule(11600-5, rec)       // past it
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fires) != 2 || fires[0] != 5+1*Microsecond || fires[1] != 11600 {
+		t.Fatalf("dispatch times = %v, want monotonic [%v %v]", fires, 5+1*Microsecond, Time(11600))
+	}
+}
+
 // Timers pending past the stop point stay live and keep their times.
 func TestRunUntilStoppedKeepsPendingTimers(t *testing.T) {
 	eng := NewEngine()

@@ -67,7 +67,7 @@ func (a *timer) before(b *timer) bool {
 
 // wheel is the engine's event queue. The zero value is ready to use.
 type wheel struct {
-	cur     Time // dispatch cursor; advances only while dispatching
+	cur     Time                // dispatch cursor; advances only while dispatching
 	occ     [wheelLevels]uint64 // per-level slot occupancy bitmaps
 	levels  uint8               // bitmask of levels with any occupied slot
 	slots   [wheelLevels][wheelSlots]*timer
@@ -222,8 +222,15 @@ func (w *wheel) cascade(lvl int, base Time) {
 // order. It reports false when nothing is pending. fillBuf restructures
 // the wheel, so it must only run on the dispatch path (the cursor may
 // pass the engine clock transiently; dispatching the found tick realigns
-// them before any callback observes it).
+// them before any callback observes it). When the scan instead drains the
+// wheel — every remaining slot held only cancelled entries — no dispatch
+// will realign clock and cursor, so the cursor is restored to its entry
+// value: leaving it ahead of the clock would put later inserts (clock <=
+// t < cursor) at a negative tick delta, behind the cursor, where the
+// rotated occupancy scan reads them as nearly a full rotation in the
+// future and dispatch order breaks.
 func (w *wheel) fillBuf() bool {
+	cur0 := w.cur
 	for {
 		// Promote overflow entries the horizon has reached. When the
 		// wheel is empty the cursor can jump straight to the overflow
@@ -280,6 +287,7 @@ func (w *wheel) fillBuf() bool {
 		}
 		if !c0ok {
 			if len(w.over) == 0 {
+				w.cur = cur0 // cancel-only drain: no dispatch follows
 				return false
 			}
 			continue // overflow only: next pass promotes it
